@@ -1,0 +1,117 @@
+package choreo_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"choreo"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cloud, err := choreo.NewSimulatedCloud(choreo.EC22013(), 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	app, err := choreo.GenerateApplication(rng, choreo.DefaultWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := cloud.MeasureEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := choreo.Greedy(app, env, choreo.HoseModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(app, env); err != nil {
+		t.Fatal(err)
+	}
+	d, err := cloud.Execute(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 {
+		t.Errorf("completion %v", d)
+	}
+}
+
+func TestRunOnceAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	app, err := choreo.GenerateApplication(rng, choreo.DefaultWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []choreo.Algorithm{
+		choreo.AlgChoreo, choreo.AlgRandom, choreo.AlgRoundRobin, choreo.AlgMinMachines,
+	} {
+		cloud, err := choreo.NewSimulatedCloud(choreo.EC22013(), 7, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cloud.RunOnce(app, alg); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestTrafficMatrixAPI(t *testing.T) {
+	tm := choreo.NewTrafficMatrix(3)
+	if err := tm.Set(0, 1, 100*choreo.Megabyte); err != nil {
+		t.Fatal(err)
+	}
+	app := &choreo.Application{Name: "api", CPU: []float64{1, 1, 1}, TM: tm}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	combined, offsets, err := choreo.CombineApplications([]*choreo.Application{app, app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Tasks() != 6 || offsets[1] != 3 {
+		t.Errorf("combine: tasks=%d offsets=%v", combined.Tasks(), offsets)
+	}
+}
+
+func TestSequenceAPI(t *testing.T) {
+	cloud, err := choreo.NewSimulatedCloud(choreo.EC22013(), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	apps, err := choreo.GenerateSequence(rng, choreo.DefaultWorkload(), 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cloud.RunSequence(apps, choreo.AlgChoreo, choreo.SequenceOptions{Remeasure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerApp) != 2 {
+		t.Errorf("per-app = %d", len(res.PerApp))
+	}
+}
+
+func TestProfilesConstructible(t *testing.T) {
+	for _, p := range []choreo.Profile{
+		choreo.EC22013(), choreo.EC22012(0), choreo.Rackspace(), choreo.PrivateCloud(),
+	} {
+		if _, err := choreo.NewSimulatedCloud(p, 1, 4); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestRateHelpers(t *testing.T) {
+	if choreo.Gbps(1) != choreo.Mbps(1000) {
+		t.Error("rate constructors disagree")
+	}
+	if choreo.DefaultEC2Train().BurstLength != 200 {
+		t.Error("EC2 train config wrong")
+	}
+	if choreo.DefaultRackspaceTrain().BurstLength != 2000 {
+		t.Error("Rackspace train config wrong")
+	}
+}

@@ -1,0 +1,37 @@
+// Command choreo-agent is the per-VM measurement daemon: it answers the
+// coordinator's control protocol (packet-train send/receive, bulk TCP
+// send/receive, RTT probes) so a tenant can measure the full mesh of its
+// VMs (paper §3.1). Run one agent on each VM, then point `choreo measure`
+// at their control addresses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"choreo/internal/cluster"
+)
+
+func main() {
+	listen := flag.String("listen", "0.0.0.0:7101", "control address to bind")
+	flag.Parse()
+
+	agent, err := cluster.StartAgent(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "choreo-agent: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("choreo-agent: control %s, udp echo port %d\n", agent.Addr(), agent.EchoPort())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("choreo-agent: shutting down")
+	if err := agent.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "choreo-agent: close: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command choreo-bench regenerates every figure and in-text result of the
+// paper's evaluation, printing the same rows and series the paper reports.
+//
+// Usage:
+//
+//	choreo-bench                 # run everything at full scale
+//	choreo-bench -quick          # reduced scale (seconds, for smoke tests)
+//	choreo-bench -run fig10a     # one experiment
+//	choreo-bench -list           # list experiment IDs
+//	choreo-bench -seed 7         # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"choreo/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 42, "deterministic seed for all experiments")
+		quick = flag.Bool("quick", false, "reduced scale (fast smoke run)")
+		run   = flag.String("run", "", "run only the experiment with this ID")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.All() {
+			fmt.Printf("%-16s %s\n", n.ID, n.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	selected := experiments.All()
+	if *run != "" {
+		n, ok := experiments.Find(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "choreo-bench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		selected = []experiments.Named{n}
+	}
+
+	for _, n := range selected {
+		start := time.Now()
+		res, err := n.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "choreo-bench: %s: %v\n", n.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s (%s, %.1fs)\n%s\n", n.ID, n.Title, time.Since(start).Seconds(), res)
+	}
+}

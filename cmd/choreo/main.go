@@ -1,0 +1,279 @@
+// Command choreo is the tenant-side CLI: it measures a cloud (simulated
+// or live via choreo-agent daemons), places applications with the paper's
+// greedy network-aware algorithm or any baseline, and runs simulated
+// placements end to end.
+//
+// Subcommands:
+//
+//	choreo simulate -profile ec2-2013 -vms 10 -apps 2 -seed 1
+//	    build a simulated cloud, generate applications, measure with
+//	    packet trains, place with every algorithm and execute; prints a
+//	    completion-time comparison.
+//
+//	choreo measure -agents host1:7101,host2:7101[,...] [-bursts 10 -burstlen 200]
+//	    measure every ordered pair of live agents with packet trains and
+//	    print the estimated rate matrix in Mbit/s.
+//
+//	choreo place -machines 4 -rates rates.json -app app.json [-model hose]
+//	    offline placement: read a measured rate matrix and an application
+//	    profile from JSON, print the task→machine assignment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"choreo"
+	"choreo/internal/cluster"
+	"choreo/internal/place"
+	"choreo/internal/probe"
+	"choreo/internal/profile"
+	"choreo/internal/units"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "simulate":
+		err = runSimulate(os.Args[2:])
+	case "measure":
+		err = runMeasure(os.Args[2:])
+	case "place":
+		err = runPlace(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "choreo: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "choreo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: choreo <simulate|measure|place> [flags]")
+}
+
+func profileByName(name string) (choreo.Profile, error) {
+	switch name {
+	case "ec2-2013", "ec2":
+		return choreo.EC22013(), nil
+	case "ec2-2012":
+		return choreo.EC22012(0), nil
+	case "rackspace":
+		return choreo.Rackspace(), nil
+	case "private":
+		return choreo.PrivateCloud(), nil
+	}
+	return choreo.Profile{}, fmt.Errorf("unknown profile %q (ec2-2013, ec2-2012, rackspace, private)", name)
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	profileName := fs.String("profile", "ec2-2013", "provider profile")
+	vms := fs.Int("vms", 10, "tenant VMs to allocate")
+	nApps := fs.Int("apps", 2, "applications to combine and place")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prof, err := profileByName(*profileName)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var apps []*choreo.Application
+	cfg := choreo.DefaultWorkload()
+	for i := 0; i < *nApps; i++ {
+		app, err := choreo.GenerateApplication(rng, cfg)
+		if err != nil {
+			return err
+		}
+		apps = append(apps, app)
+		fmt.Printf("application %d: %s, %d tasks, %s total traffic\n",
+			i, app.Name, app.Tasks(), app.TM.Total())
+	}
+	combined, _, err := choreo.CombineApplications(apps)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nmeasuring %d VM pairs with packet trains...\n", (*vms)*(*vms-1))
+	results := make(map[choreo.Algorithm]time.Duration)
+	for _, alg := range []choreo.Algorithm{
+		choreo.AlgChoreo, choreo.AlgMinMachines, choreo.AlgRandom, choreo.AlgRoundRobin,
+	} {
+		cloud, err := choreo.NewSimulatedCloud(prof, *seed, *vms)
+		if err != nil {
+			return err
+		}
+		d, err := cloud.RunOnce(combined, alg)
+		if err != nil {
+			return err
+		}
+		results[alg] = d
+	}
+	fmt.Printf("\n%-14s %12s %10s\n", "algorithm", "completion", "vs choreo")
+	for _, alg := range []choreo.Algorithm{
+		choreo.AlgChoreo, choreo.AlgMinMachines, choreo.AlgRandom, choreo.AlgRoundRobin,
+	} {
+		rel := ""
+		if alg != choreo.AlgChoreo && results[alg] > 0 {
+			speedup := (results[alg] - results[choreo.AlgChoreo]).Seconds() / results[alg].Seconds() * 100
+			rel = fmt.Sprintf("%+.1f%%", speedup)
+		}
+		fmt.Printf("%-14s %12.2fs %10s\n", alg, results[alg].Seconds(), rel)
+	}
+	return nil
+}
+
+func runMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	agents := fs.String("agents", "", "comma-separated agent control addresses")
+	bursts := fs.Int("bursts", 10, "bursts per train (K)")
+	burstLen := fs.Int("burstlen", 200, "packets per burst (B)")
+	packet := fs.Int("packet", 1472, "packet size bytes (P)")
+	gap := fs.Duration("gap", time.Millisecond, "inter-burst gap (delta)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-operation timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*agents, ",")
+	if *agents == "" || len(addrs) < 2 {
+		return fmt.Errorf("need at least two -agents addresses")
+	}
+	coord := cluster.NewCoordinator(addrs, *timeout)
+	cfg := probe.Config{
+		PacketSize:  units.ByteSize(*packet),
+		Bursts:      *bursts,
+		BurstLength: *burstLen,
+		Gap:         *gap,
+		MSS:         1460,
+	}
+	res, err := coord.MeasureMesh(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured %d agents in %.1fs; rates in Mbit/s:\n", len(addrs), res.Elapsed.Seconds())
+	fmt.Printf("%8s", "")
+	for j := range addrs {
+		fmt.Printf(" %9s", fmt.Sprintf("->%d", j))
+	}
+	fmt.Println()
+	for i := range addrs {
+		fmt.Printf("agent %2d", i)
+		for j := range addrs {
+			if i == j {
+				fmt.Printf(" %9s", "-")
+				continue
+			}
+			fmt.Printf(" %9.1f", res.Rates[i][j].Mbps())
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// placeInput is the JSON schema for `choreo place`.
+type placeInput struct {
+	// RatesMbps[m][n] is the measured throughput m->n in Mbit/s.
+	RatesMbps [][]float64 `json:"ratesMbps"`
+	// CPUCap[m] is cores per machine (defaults to 4 each).
+	CPUCap []float64 `json:"cpuCap,omitempty"`
+}
+
+type appInput struct {
+	Name string `json:"name"`
+	// CPU[i] is cores demanded by task i.
+	CPU []float64 `json:"cpu"`
+	// TransfersMB is a list of [from, to, megabytes] triples.
+	TransfersMB [][3]float64 `json:"transfersMB"`
+}
+
+func runPlace(args []string) error {
+	fs := flag.NewFlagSet("place", flag.ExitOnError)
+	ratesPath := fs.String("rates", "", "JSON file with the measured rate matrix")
+	appPath := fs.String("app", "", "JSON file with the application profile")
+	model := fs.String("model", "hose", "rate model: hose or pipe")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ratesPath == "" || *appPath == "" {
+		return fmt.Errorf("both -rates and -app are required")
+	}
+	var pin placeInput
+	if err := readJSON(*ratesPath, &pin); err != nil {
+		return err
+	}
+	var ain appInput
+	if err := readJSON(*appPath, &ain); err != nil {
+		return err
+	}
+
+	m := len(pin.RatesMbps)
+	env := &place.Environment{Rates: make([][]units.Rate, m)}
+	for i := range pin.RatesMbps {
+		env.Rates[i] = make([]units.Rate, m)
+		for j, v := range pin.RatesMbps[i] {
+			env.Rates[i][j] = units.Mbps(v)
+		}
+	}
+	env.CPUCap = pin.CPUCap
+	if env.CPUCap == nil {
+		env.CPUCap = make([]float64, m)
+		for i := range env.CPUCap {
+			env.CPUCap[i] = 4
+		}
+	}
+
+	tm := profile.NewTrafficMatrix(len(ain.CPU))
+	for _, tr := range ain.TransfersMB {
+		if err := tm.Add(int(tr[0]), int(tr[1]), units.ByteSize(tr[2]*1e6)); err != nil {
+			return err
+		}
+	}
+	app := &profile.Application{Name: ain.Name, CPU: ain.CPU, TM: tm}
+
+	mdl := place.Hose
+	if *model == "pipe" {
+		mdl = place.Pipe
+	}
+	p, err := place.Greedy(app, env, mdl)
+	if err != nil {
+		return err
+	}
+	ct, err := place.CompletionTime(app, env, p, mdl)
+	if err != nil {
+		return err
+	}
+	out := struct {
+		MachineOf           []int   `json:"machineOf"`
+		PredictedCompletion float64 `json:"predictedCompletionSeconds"`
+	}{p.MachineOf, ct.Seconds()}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func readJSON(path string, v interface{}) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

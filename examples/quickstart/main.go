@@ -1,0 +1,82 @@
+// Quickstart: measure a simulated EC2-like cloud with packet trains,
+// profile a small application, place it with Choreo's greedy algorithm,
+// and compare against a random placement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"choreo"
+)
+
+func main() {
+	// A ten-VM allocation on an EC2-May-2013-like fabric.
+	cloud, err := choreo.NewSimulatedCloud(choreo.EC22013(), 42, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The tenant's application: a small scatter-gather job. Task 0
+	// scatters 200 MB to each worker and gathers 100 MB back.
+	const workers = 5
+	tm := choreo.NewTrafficMatrix(workers + 1)
+	cpu := make([]float64, workers+1)
+	cpu[0] = 2
+	for w := 1; w <= workers; w++ {
+		cpu[w] = 1
+		if err := tm.Set(0, w, 200*choreo.Megabyte); err != nil {
+			log.Fatal(err)
+		}
+		if err := tm.Set(w, 0, 100*choreo.Megabyte); err != nil {
+			log.Fatal(err)
+		}
+	}
+	app := &choreo.Application{Name: "scatter-gather", CPU: cpu, TM: tm}
+
+	// Measure all 90 VM pairs with packet trains (sub-second per path).
+	env, err := cloud.MeasureEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measured rate matrix (Mbit/s):")
+	for i := range env.Rates {
+		for j := range env.Rates[i] {
+			if i == j {
+				fmt.Printf("%8s", "-")
+			} else {
+				fmt.Printf("%8.0f", env.Rates[i][j].Mbps())
+			}
+		}
+		fmt.Println()
+	}
+
+	// Choreo's placement vs a network-oblivious random one.
+	greedy, err := choreo.Greedy(app, env, choreo.HoseModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dChoreo, err := cloud.Execute(app, greedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cloud2, err := choreo.NewSimulatedCloud(choreo.EC22013(), 42, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	random, err := cloud2.Place(app, env, choreo.AlgRandom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dRandom, err := cloud2.Execute(app, random)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchoreo placement:  %v  (tasks -> VMs %v)\n", dChoreo, greedy.MachineOf)
+	fmt.Printf("random placement:  %v  (tasks -> VMs %v)\n", dRandom, random.MachineOf)
+	if dRandom > 0 {
+		fmt.Printf("relative speed-up: %.1f%%\n",
+			(dRandom-dChoreo).Seconds()/dRandom.Seconds()*100)
+	}
+}

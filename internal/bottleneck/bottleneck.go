@@ -1,0 +1,188 @@
+// Package bottleneck implements Choreo's §3.3 machinery: finding which
+// paths share bottleneck links by sending traffic on pairs of paths
+// concurrently, fitting a multi-rooted tree onto traceroute hop counts,
+// and applying the paper's interference rules so one measurement
+// generalizes to a whole rack.
+package bottleneck
+
+import (
+	"fmt"
+
+	"choreo/internal/netsim"
+	"choreo/internal/topology"
+	"choreo/internal/units"
+)
+
+// DefaultInterferenceThreshold is the relative throughput drop that counts
+// as "decreases significantly" in the concurrent-connection test.
+const DefaultInterferenceThreshold = 0.10
+
+// InterferenceResult records one concurrent-pair experiment: the
+// throughput of A→B alone and while C→D was also running.
+type InterferenceResult struct {
+	Alone      units.Rate
+	Concurrent units.Rate
+	Interferes bool
+}
+
+// TestInterference measures whether a connection C→D affects the
+// throughput of A→B (paper §3.3.2): netperf on A→B alone, then both
+// concurrently. The network clock does not advance; the simulator's
+// instantaneous allocation stands in for the paper's paired transfers.
+func TestInterference(net *netsim.Network, a, b, c, d topology.VMID, threshold float64) (InterferenceResult, error) {
+	if threshold <= 0 {
+		threshold = DefaultInterferenceThreshold
+	}
+	alone, err := net.AvailableRate(a, b)
+	if err != nil {
+		return InterferenceResult{}, err
+	}
+	bg, err := net.StartFlow(c, d, netsim.Backlogged, "interference-probe", nil)
+	if err != nil {
+		return InterferenceResult{}, err
+	}
+	concurrent, err := net.AvailableRate(a, b)
+	net.StopFlow(bg.ID)
+	if err != nil {
+		return InterferenceResult{}, err
+	}
+	res := InterferenceResult{
+		Alone:      alone,
+		Concurrent: concurrent,
+		Interferes: float64(concurrent) < float64(alone)*(1-threshold),
+	}
+	return res, nil
+}
+
+// HoseEvidence is the outcome of the §3.3.2 rate-limit detection: if the
+// bottleneck sits at the path endpoints and the sum of connections out of
+// one source stays constant, the provider runs a hose model.
+type HoseEvidence struct {
+	SingleRate         units.Rate // one connection out of the source
+	PairSum            units.Rate // sum of two concurrent connections to distinct hosts
+	EndpointBottleneck bool       // the two connections interfered at the source
+	SumConstant        bool       // their sum matches the single-connection rate
+	HoseDetected       bool
+}
+
+// DetectHose checks a source VM against two destinations on different
+// hosts.
+func DetectHose(net *netsim.Network, src, dst1, dst2 topology.VMID) (HoseEvidence, error) {
+	single, err := net.AvailableRate(src, dst1)
+	if err != nil {
+		return HoseEvidence{}, err
+	}
+	f1, err := net.StartFlow(src, dst1, netsim.Backlogged, "hose-probe", nil)
+	if err != nil {
+		return HoseEvidence{}, err
+	}
+	f2, err := net.StartFlow(src, dst2, netsim.Backlogged, "hose-probe", nil)
+	if err != nil {
+		net.StopFlow(f1.ID)
+		return HoseEvidence{}, err
+	}
+	r1, err1 := net.CurrentRate(f1.ID)
+	r2, err2 := net.CurrentRate(f2.ID)
+	net.StopFlow(f1.ID)
+	net.StopFlow(f2.ID)
+	if err1 != nil {
+		return HoseEvidence{}, err1
+	}
+	if err2 != nil {
+		return HoseEvidence{}, err2
+	}
+	ev := HoseEvidence{SingleRate: single, PairSum: r1 + r2}
+	ev.EndpointBottleneck = float64(r1) < float64(single)*(1-DefaultInterferenceThreshold)
+	ratio := float64(ev.PairSum) / float64(single)
+	ev.SumConstant = ratio > 0.9 && ratio < 1.1
+	ev.HoseDetected = ev.EndpointBottleneck && ev.SumConstant
+	return ev, nil
+}
+
+// Survey is the paper's §4.3 experiment: many concurrent-connection
+// trials, split into pairs with four distinct endpoints and pairs sharing
+// a source.
+type Survey struct {
+	DisjointTrials        int
+	DisjointInterfering   int
+	SameSourceTrials      int
+	SameSourceInterfering int
+}
+
+// DisjointFraction returns the fraction of disjoint-endpoint pairs that
+// interfered.
+func (s Survey) DisjointFraction() float64 {
+	if s.DisjointTrials == 0 {
+		return 0
+	}
+	return float64(s.DisjointInterfering) / float64(s.DisjointTrials)
+}
+
+// SameSourceFraction returns the fraction of same-source pairs that
+// interfered.
+func (s Survey) SameSourceFraction() float64 {
+	if s.SameSourceTrials == 0 {
+		return 0
+	}
+	return float64(s.SameSourceInterfering) / float64(s.SameSourceTrials)
+}
+
+// RunSurvey executes trials over the given VMs: every ordered 4-tuple of
+// distinct VMs (capped at maxTrials) for the disjoint case, and every
+// (src, dst1, dst2) triple for the same-source case.
+func RunSurvey(net *netsim.Network, vms []topology.VM, maxTrials int, threshold float64) (Survey, error) {
+	var s Survey
+	if len(vms) < 4 {
+		return s, fmt.Errorf("bottleneck: survey needs at least 4 VMs, got %d", len(vms))
+	}
+	// Disjoint endpoints: A->B concurrent with C->D.
+	for i := 0; i < len(vms) && s.DisjointTrials < maxTrials; i++ {
+		for j := 0; j < len(vms) && s.DisjointTrials < maxTrials; j++ {
+			if j == i {
+				continue
+			}
+			for k := 0; k < len(vms) && s.DisjointTrials < maxTrials; k++ {
+				if k == i || k == j {
+					continue
+				}
+				for l := 0; l < len(vms) && s.DisjointTrials < maxTrials; l++ {
+					if l == i || l == j || l == k {
+						continue
+					}
+					res, err := TestInterference(net, vms[i].ID, vms[j].ID, vms[k].ID, vms[l].ID, threshold)
+					if err != nil {
+						return s, err
+					}
+					s.DisjointTrials++
+					if res.Interferes {
+						s.DisjointInterfering++
+					}
+				}
+			}
+		}
+	}
+	// Same source: A->B concurrent with A->C.
+	trials := 0
+	for i := 0; i < len(vms) && trials < maxTrials; i++ {
+		for j := 0; j < len(vms) && trials < maxTrials; j++ {
+			if j == i {
+				continue
+			}
+			for k := 0; k < len(vms) && trials < maxTrials; k++ {
+				if k == i || k == j {
+					continue
+				}
+				res, err := TestInterference(net, vms[i].ID, vms[j].ID, vms[i].ID, vms[k].ID, threshold)
+				if err != nil {
+					return s, err
+				}
+				trials++
+				s.SameSourceTrials++
+				if res.Interferes {
+					s.SameSourceInterfering++
+				}
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,193 @@
+package bottleneck
+
+import (
+	"fmt"
+)
+
+// Inference is the multi-rooted tree "fit" of paper §3.3.1: tenants
+// cluster their VMs by traceroute hop count under the assumption that
+// datacenter paths use 1 hop (same machine), 2 hops (same rack), or an
+// even number of hops (deeper tiers).
+type Inference struct {
+	// MachineOf[i] is the machine-cluster index of VM i (hops == 1).
+	MachineOf []int
+	// RackOf[i] is the rack index (hops <= 2).
+	RackOf []int
+	// SubtreeOf[i] is the aggregation-subtree index (hops <= 4).
+	SubtreeOf []int
+}
+
+// unionFind is a tiny disjoint-set structure.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+// labels converts union-find roots to dense cluster indices.
+func (u *unionFind) labels() []int {
+	next := 0
+	idx := map[int]int{}
+	out := make([]int, len(u.parent))
+	for i := range u.parent {
+		r := u.find(i)
+		if _, ok := idx[r]; !ok {
+			idx[r] = next
+			next++
+		}
+		out[i] = idx[r]
+	}
+	return out
+}
+
+// Infer fits the tree onto a symmetric hop-count matrix. hops[i][j] is the
+// traceroute hop count between VMs i and j (hops[i][i] ignored). Hop
+// counts must be 1 or even; anything else is rejected, matching the
+// paper's observation that multi-rooted trees only produce those lengths.
+func Infer(hops [][]int) (*Inference, error) {
+	n := len(hops)
+	if n == 0 {
+		return nil, fmt.Errorf("bottleneck: empty hop matrix")
+	}
+	for i := range hops {
+		if len(hops[i]) != n {
+			return nil, fmt.Errorf("bottleneck: hop matrix row %d has %d entries, want %d", i, len(hops[i]), n)
+		}
+		for j := range hops[i] {
+			if i == j {
+				continue
+			}
+			h := hops[i][j]
+			if h != 1 && (h < 2 || h%2 != 0) {
+				return nil, fmt.Errorf("bottleneck: hop count %d between %d and %d does not fit a multi-rooted tree", h, i, j)
+			}
+			if hops[j][i] != h {
+				return nil, fmt.Errorf("bottleneck: asymmetric hops between %d and %d", i, j)
+			}
+		}
+	}
+	machines := newUnionFind(n)
+	racks := newUnionFind(n)
+	subtrees := newUnionFind(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			h := hops[i][j]
+			if h <= 1 {
+				machines.union(i, j)
+			}
+			if h <= 2 {
+				racks.union(i, j)
+			}
+			if h <= 4 {
+				subtrees.union(i, j)
+			}
+		}
+	}
+	return &Inference{
+		MachineOf: machines.labels(),
+		RackOf:    racks.labels(),
+		SubtreeOf: subtrees.labels(),
+	}, nil
+}
+
+// SameMachine reports whether VMs i and j were inferred to share a
+// physical machine.
+func (inf *Inference) SameMachine(i, j int) bool { return inf.MachineOf[i] == inf.MachineOf[j] }
+
+// SameRack reports whether VMs i and j were inferred to share a rack.
+func (inf *Inference) SameRack(i, j int) bool { return inf.RackOf[i] == inf.RackOf[j] }
+
+// SameSubtree reports whether VMs i and j share an aggregation subtree.
+func (inf *Inference) SameSubtree(i, j int) bool { return inf.SubtreeOf[i] == inf.SubtreeOf[j] }
+
+// BottleneckLocation names where a provider's bottlenecks were found.
+type BottleneckLocation int
+
+// Bottleneck locations used by the interference-prediction rules.
+const (
+	// BottleneckAtSource: the hose model; only same-source connections
+	// interfere (what §4.3 found on EC2 and Rackspace).
+	BottleneckAtSource BottleneckLocation = iota
+	// BottleneckAtToR: the rack uplink is the constraint (rule 1).
+	BottleneckAtToR
+	// BottleneckAtAggregate: the subtree uplink is the constraint (rule 2).
+	BottleneckAtAggregate
+)
+
+// String names the location.
+func (b BottleneckLocation) String() string {
+	switch b {
+	case BottleneckAtSource:
+		return "source"
+	case BottleneckAtToR:
+		return "tor-uplink"
+	case BottleneckAtAggregate:
+		return "aggregate-uplink"
+	}
+	return fmt.Sprintf("location(%d)", int(b))
+}
+
+// PredictInterference applies the paper's §3.3.2 rules: given the
+// inferred clusters and the bottleneck location, will connections a→b and
+// c→d interfere?
+//
+// Rule 1 (ToR uplink): interfere if (a) same source, or (b) a and c share
+// a rack and neither b nor d is on that rack.
+// Rule 2 (aggregate uplink): potentially interfere if a and c share a
+// subtree and neither b nor d does.
+// Source bottleneck (hose): interfere only when a == c.
+func PredictInterference(inf *Inference, loc BottleneckLocation, a, b, c, d int) bool {
+	switch loc {
+	case BottleneckAtSource:
+		return a == c
+	case BottleneckAtToR:
+		if a == c {
+			return true
+		}
+		return inf.SameRack(a, c) && !inf.SameRack(b, a) && !inf.SameRack(d, a)
+	case BottleneckAtAggregate:
+		return inf.SameSubtree(a, c) && !inf.SameSubtree(b, a) && !inf.SameSubtree(d, a)
+	}
+	return false
+}
+
+// SharedBottleneckMatrix builds the Appendix's S matrix: S[m][n][a][b] = 1
+// if path m→n shares a bottleneck with path a→b, flattened to a map keyed
+// by the two ordered pairs. Under the hose model the paper sets
+// S(m→i, m→j) = 1 for all i, j ≠ m; that is what this helper produces for
+// BottleneckAtSource, while rack/subtree locations use the rules above.
+type SharedBottleneckMatrix struct {
+	n   int
+	inf *Inference
+	loc BottleneckLocation
+}
+
+// NewSharedBottleneckMatrix builds the predicate for n VMs.
+func NewSharedBottleneckMatrix(inf *Inference, loc BottleneckLocation) *SharedBottleneckMatrix {
+	return &SharedBottleneckMatrix{n: len(inf.MachineOf), inf: inf, loc: loc}
+}
+
+// Shares reports S(m→n, a→b).
+func (s *SharedBottleneckMatrix) Shares(m, n, a, b int) bool {
+	if m == n || a == b {
+		return false
+	}
+	if m == a && n == b {
+		return true // a path trivially shares its own bottleneck
+	}
+	return PredictInterference(s.inf, s.loc, m, n, a, b)
+}

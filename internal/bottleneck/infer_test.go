@@ -1,0 +1,215 @@
+package bottleneck
+
+import (
+	"testing"
+
+	"choreo/internal/netsim"
+	"choreo/internal/topology"
+)
+
+// hopMatrix builds a symmetric matrix from the upper triangle.
+func hopMatrix(n int, upper map[[2]int]int) [][]int {
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for k, v := range upper {
+		m[k[0]][k[1]] = v
+		m[k[1]][k[0]] = v
+	}
+	return m
+}
+
+func TestInferClusters(t *testing.T) {
+	// VMs 0,1 same machine; 2 same rack as them; 3 same subtree; 4 far.
+	hops := hopMatrix(5, map[[2]int]int{
+		{0, 1}: 1,
+		{0, 2}: 2, {1, 2}: 2,
+		{0, 3}: 4, {1, 3}: 4, {2, 3}: 4,
+		{0, 4}: 6, {1, 4}: 6, {2, 4}: 6, {3, 4}: 6,
+	})
+	inf, err := Infer(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inf.SameMachine(0, 1) || inf.SameMachine(0, 2) {
+		t.Errorf("machine clusters wrong: %v", inf.MachineOf)
+	}
+	if !inf.SameRack(0, 2) || inf.SameRack(0, 3) {
+		t.Errorf("rack clusters wrong: %v", inf.RackOf)
+	}
+	if !inf.SameSubtree(0, 3) || inf.SameSubtree(0, 4) {
+		t.Errorf("subtree clusters wrong: %v", inf.SubtreeOf)
+	}
+}
+
+func TestInferRejectsBadMatrices(t *testing.T) {
+	if _, err := Infer(nil); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := Infer([][]int{{0, 1}}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	odd := hopMatrix(2, map[[2]int]int{{0, 1}: 3})
+	if _, err := Infer(odd); err == nil {
+		t.Error("odd hop count should fail")
+	}
+	asym := hopMatrix(2, map[[2]int]int{{0, 1}: 2})
+	asym[1][0] = 4
+	if _, err := Infer(asym); err == nil {
+		t.Error("asymmetric matrix should fail")
+	}
+}
+
+func TestInferAgainstRealTopology(t *testing.T) {
+	// The inference run on real traceroute output must agree with the
+	// provider's actual placement.
+	prov, err := topology.NewProvider(topology.EC22013(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms, err := prov.AllocateVMs(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(vms)
+	hops := make([][]int, n)
+	for i := range hops {
+		hops[i] = make([]int, n)
+		for j := range hops[i] {
+			if i == j {
+				continue
+			}
+			h, err := prov.TracerouteHops(vms[i].ID, vms[j].ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops[i][j] = h
+		}
+	}
+	inf, err := Infer(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			wantRack := prov.SameRack(vms[i].ID, vms[j].ID)
+			if got := inf.SameRack(i, j); got != wantRack {
+				t.Errorf("rack inference for %d,%d = %v, truth %v", i, j, got, wantRack)
+			}
+			wantHost := vms[i].Host == vms[j].Host
+			if got := inf.SameMachine(i, j); got != wantHost {
+				t.Errorf("machine inference for %d,%d = %v, truth %v", i, j, got, wantHost)
+			}
+		}
+	}
+}
+
+func TestPredictInterferenceRules(t *testing.T) {
+	// Clusters: VMs 0,1,2 on rack 0 (0 and 1 same machine), 3,4 on rack 1;
+	// racks 0,1 in subtree 0; VM 5 on rack 2 in subtree 1.
+	hops := hopMatrix(6, map[[2]int]int{
+		{0, 1}: 1, {0, 2}: 2, {1, 2}: 2,
+		{0, 3}: 4, {0, 4}: 4, {1, 3}: 4, {1, 4}: 4, {2, 3}: 4, {2, 4}: 4,
+		{3, 4}: 2,
+		{0, 5}: 6, {1, 5}: 6, {2, 5}: 6, {3, 5}: 6, {4, 5}: 6,
+	})
+	inf, err := Infer(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hose model: only same source interferes.
+	if !PredictInterference(inf, BottleneckAtSource, 0, 3, 0, 5) {
+		t.Error("hose: same source must interfere")
+	}
+	if PredictInterference(inf, BottleneckAtSource, 0, 3, 1, 5) {
+		t.Error("hose: different sources must not interfere")
+	}
+
+	// Rule 1(a): same source at a ToR bottleneck.
+	if !PredictInterference(inf, BottleneckAtToR, 0, 3, 0, 5) {
+		t.Error("rule 1(a) failed")
+	}
+	// Rule 1(b): same rack, both leaving.
+	if !PredictInterference(inf, BottleneckAtToR, 0, 3, 2, 5) {
+		t.Error("rule 1(b) failed: both connections leave rack 0")
+	}
+	// Rule 1(b) negative: destination inside the rack.
+	if PredictInterference(inf, BottleneckAtToR, 0, 1, 2, 5) {
+		t.Error("rule 1(b) should not fire when one destination stays in the rack")
+	}
+	// Rule 2: same subtree, both leaving it.
+	if !PredictInterference(inf, BottleneckAtAggregate, 0, 5, 3, 5) {
+		t.Error("rule 2 failed: both leave subtree 0")
+	}
+	// Rule 2 negative: one stays inside.
+	if PredictInterference(inf, BottleneckAtAggregate, 0, 3, 2, 5) {
+		t.Error("rule 2 should not fire when a destination stays in the subtree")
+	}
+}
+
+func TestSharedBottleneckMatrix(t *testing.T) {
+	hops := hopMatrix(3, map[[2]int]int{{0, 1}: 2, {0, 2}: 4, {1, 2}: 4})
+	inf, err := Infer(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSharedBottleneckMatrix(inf, BottleneckAtSource)
+	if !s.Shares(0, 1, 0, 2) {
+		t.Error("hose matrix: same-source paths must share")
+	}
+	if s.Shares(0, 1, 1, 2) {
+		t.Error("hose matrix: different sources must not share")
+	}
+	if !s.Shares(0, 1, 0, 1) {
+		t.Error("a path shares with itself")
+	}
+	if s.Shares(0, 0, 0, 1) {
+		t.Error("degenerate self-pair must not share")
+	}
+}
+
+func TestBottleneckLocationString(t *testing.T) {
+	if BottleneckAtSource.String() != "source" ||
+		BottleneckAtToR.String() != "tor-uplink" ||
+		BottleneckAtAggregate.String() != "aggregate-uplink" {
+		t.Error("location names wrong")
+	}
+	if BottleneckLocation(9).String() != "location(9)" {
+		t.Error("unknown location name wrong")
+	}
+}
+
+func TestHoseSumConstantOnEC2(t *testing.T) {
+	// Complements DetectHose: verify via the netsim API that the sum of
+	// 3 concurrent connections out of one source equals the hose rate.
+	prov, err := topology.NewProvider(topology.EC22013(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms, err := prov.AllocateVMs(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := distinctHostVMs(vms)
+	if len(ids) < 4 {
+		t.Skip("not enough distinct hosts")
+	}
+	net := netsim.New(prov)
+	hose := float64(prov.VM(ids[0]).EgressRate)
+	var sum float64
+	for _, dst := range ids[1:4] {
+		f, err := net.StartFlow(ids[0], dst, netsim.Backlogged, "t", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = f
+	}
+	for _, r := range net.Rates() {
+		sum += float64(r)
+	}
+	if sum > hose*1.001 || sum < hose*0.95 {
+		t.Errorf("sum of 3 same-source connections = %v, hose %v", sum, hose)
+	}
+}

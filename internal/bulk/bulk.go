@@ -1,0 +1,119 @@
+// Package bulk implements the netperf-equivalent bulk TCP measurement the
+// paper uses both as ground truth for packet-train calibration (§4.1) and
+// as the instrumented foreground connection for cross-traffic estimation
+// (§3.2): a backlogged transfer whose receive rate is sampled every 10 ms.
+package bulk
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"choreo/internal/netsim"
+	"choreo/internal/stats"
+	"choreo/internal/topology"
+	"choreo/internal/units"
+)
+
+// DefaultSampleInterval is the paper's receive-rate sampling period.
+const DefaultSampleInterval = 10 * time.Millisecond
+
+// Sample is one receive-rate observation.
+type Sample struct {
+	At   time.Duration
+	Rate units.Rate
+}
+
+// Result summarizes one bulk transfer.
+type Result struct {
+	Src, Dst topology.VMID
+	Duration time.Duration
+	Samples  []Sample
+	// Mean is the time-averaged throughput over the run, i.e. what
+	// netperf prints after its 10 seconds.
+	Mean units.Rate
+}
+
+// Options configures a measurement.
+type Options struct {
+	// Duration of the transfer (netperf default in the paper: 10 s).
+	Duration time.Duration
+	// SampleInterval between receive-rate samples (default 10 ms).
+	SampleInterval time.Duration
+	// NoiseStd adds relative Gaussian noise to each sample, modelling
+	// receiver-side measurement error. The provider profile's
+	// SampleNoiseStd is the calibrated value.
+	NoiseStd float64
+	// Rng drives the noise; required if NoiseStd > 0.
+	Rng *rand.Rand
+}
+
+// Measure runs a backlogged foreground flow from src to dst for the
+// configured duration, sampling its allocated rate. The flow competes with
+// whatever else the network is carrying, exactly like a real netperf run.
+// The network's clock advances by Duration.
+func Measure(net *netsim.Network, src, dst topology.VMID, opts Options) (Result, error) {
+	if opts.Duration <= 0 {
+		return Result{}, fmt.Errorf("bulk: non-positive duration %v", opts.Duration)
+	}
+	interval := opts.SampleInterval
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	if opts.NoiseStd > 0 && opts.Rng == nil {
+		return Result{}, fmt.Errorf("bulk: NoiseStd set without Rng")
+	}
+	flow, err := net.StartFlow(src, dst, netsim.Backlogged, "bulk", nil)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Src: src, Dst: dst, Duration: opts.Duration}
+	deadline := net.Now() + opts.Duration
+
+	net.ScheduleEvery(interval, func() bool {
+		if net.Now() > deadline {
+			return false
+		}
+		rate, err := net.CurrentRate(flow.ID)
+		if err != nil {
+			return false
+		}
+		if opts.NoiseStd > 0 {
+			rate = units.Rate(float64(rate) * (1 + opts.Rng.NormFloat64()*opts.NoiseStd))
+			if rate < 0 {
+				rate = 0
+			}
+		}
+		res.Samples = append(res.Samples, Sample{At: net.Now(), Rate: rate})
+		return true
+	})
+	net.Run(deadline)
+	net.StopFlow(flow.ID)
+
+	if len(res.Samples) > 0 {
+		vals := make([]float64, len(res.Samples))
+		for i, s := range res.Samples {
+			vals[i] = float64(s.Rate)
+		}
+		res.Mean = units.Rate(stats.Mean(vals))
+	}
+	return res, nil
+}
+
+// QuickEstimate reports what a bulk transfer would measure right now
+// without advancing time or perturbing the network: the available rate
+// with optional sampling noise. Used where the paper measures hundreds of
+// paths "simultaneously" (Figure 7).
+func QuickEstimate(net *netsim.Network, src, dst topology.VMID, noiseStd float64, rng *rand.Rand) (units.Rate, error) {
+	rate, err := net.AvailableRate(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if noiseStd > 0 && rng != nil {
+		rate = units.Rate(float64(rate) * (1 + rng.NormFloat64()*noiseStd))
+		if rate < 0 {
+			rate = 0
+		}
+	}
+	return rate, nil
+}

@@ -1,0 +1,128 @@
+package bulk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"choreo/internal/netsim"
+	"choreo/internal/topology"
+	"choreo/internal/units"
+)
+
+func dumbbell(t *testing.T, n int, edge, core units.Rate) *netsim.Network {
+	t.Helper()
+	prov, err := topology.NewProvider(topology.Dumbbell(n, edge, core), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prov.AllocateVMs(2 * n); err != nil {
+		t.Fatal(err)
+	}
+	return netsim.New(prov)
+}
+
+func TestMeasureIdlePath(t *testing.T) {
+	net := dumbbell(t, 4, units.Gbps(1), units.Gbps(1))
+	res, err := Measure(net, 0, 4, Options{Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mean.Gbps()-1) > 1e-9 {
+		t.Errorf("mean = %v, want 1 Gbit/s", res.Mean)
+	}
+	// 1 s at 10 ms sampling ≈ 100 samples.
+	if len(res.Samples) < 95 || len(res.Samples) > 101 {
+		t.Errorf("got %d samples", len(res.Samples))
+	}
+	if net.ActiveFlows() != 0 {
+		t.Errorf("measurement leaked %d flows", net.ActiveFlows())
+	}
+	if net.Now() != time.Second {
+		t.Errorf("clock at %v, want 1s", net.Now())
+	}
+}
+
+func TestMeasureSeesCompetingFlow(t *testing.T) {
+	net := dumbbell(t, 4, units.Gbps(10), units.Gbps(1))
+	// A competitor starts halfway through the measurement.
+	net.Schedule(500*time.Millisecond, func() {
+		_, _ = net.StartFlow(1, 5, netsim.Backlogged, "bg", nil)
+	})
+	res, err := Measure(net, 0, 4, Options{Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First half ~1000 Mbit/s, second half ~500 => mean ~750.
+	if res.Mean.Mbps() < 700 || res.Mean.Mbps() > 800 {
+		t.Errorf("mean = %v, want ~750 Mbit/s", res.Mean)
+	}
+	var early, late float64
+	for _, s := range res.Samples {
+		if s.At <= 500*time.Millisecond {
+			early = math.Max(early, s.Rate.Mbps())
+		} else {
+			late = s.Rate.Mbps()
+		}
+	}
+	if math.Abs(early-1000) > 1 || math.Abs(late-500) > 1 {
+		t.Errorf("early %v late %v, want 1000/500", early, late)
+	}
+}
+
+func TestMeasureNoise(t *testing.T) {
+	net := dumbbell(t, 2, units.Gbps(1), units.Gbps(1))
+	rng := rand.New(rand.NewSource(3))
+	res, err := Measure(net, 0, 2, Options{Duration: time.Second, NoiseStd: 0.01, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for _, s := range res.Samples {
+		if math.Abs(s.Rate.Mbps()-1000) > 0.1 {
+			varied = true
+		}
+		if s.Rate.Mbps() < 900 || s.Rate.Mbps() > 1100 {
+			t.Errorf("noisy sample too far off: %v", s.Rate)
+		}
+	}
+	if !varied {
+		t.Error("noise had no effect")
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	net := dumbbell(t, 2, units.Gbps(1), units.Gbps(1))
+	if _, err := Measure(net, 0, 2, Options{}); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if _, err := Measure(net, 0, 2, Options{Duration: time.Second, NoiseStd: 0.1}); err == nil {
+		t.Error("noise without rng should fail")
+	}
+	if _, err := Measure(net, 0, 0, Options{Duration: time.Second}); err == nil {
+		t.Error("self measurement should fail")
+	}
+}
+
+func TestQuickEstimate(t *testing.T) {
+	net := dumbbell(t, 4, units.Gbps(10), units.Gbps(1))
+	r, err := QuickEstimate(net, 0, 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Mbps()-1000) > 1e-6 {
+		t.Errorf("quick estimate = %v", r)
+	}
+	rng := rand.New(rand.NewSource(1))
+	r2, err := QuickEstimate(net, 0, 4, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 == r {
+		t.Error("noisy estimate identical to clean one")
+	}
+	if net.Now() != 0 {
+		t.Error("QuickEstimate advanced the clock")
+	}
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"choreo/internal/probe"
+	"choreo/internal/units"
+)
+
+// Request is one control-protocol command, sent as a JSON line.
+type Request struct {
+	Op string `json:"op"`
+
+	// Train and bulk parameters.
+	Target     string `json:"target,omitempty"`
+	Bursts     int    `json:"bursts,omitempty"`
+	BurstLen   int    `json:"burstLen,omitempty"`
+	PacketSize int    `json:"packetSize,omitempty"`
+	GapUs      int64  `json:"gapUs,omitempty"`
+	TimeoutMs  int64  `json:"timeoutMs,omitempty"`
+	DurationMs int64  `json:"durationMs,omitempty"`
+	RTTNs      int64  `json:"rttNs,omitempty"`
+	Count      int    `json:"count,omitempty"`
+}
+
+// BurstJSON serializes one burst observation.
+type BurstJSON struct {
+	Sent     int   `json:"sent"`
+	Received int   `json:"received"`
+	HeadLost int   `json:"headLost"`
+	TailLost int   `json:"tailLost"`
+	SpanNs   int64 `json:"spanNs"`
+}
+
+// Response is the agent's JSON-line reply. Two-phase operations
+// (udp-recv, tcp-recv) reply twice: first with the data port, then with
+// the result.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Port     int         `json:"port,omitempty"`
+	EchoPort int         `json:"echoPort,omitempty"`
+	Bursts   []BurstJSON `json:"bursts,omitempty"`
+	RTTNs    int64       `json:"rttNs,omitempty"`
+	RateBits float64     `json:"rateBits,omitempty"`
+	Bytes    int64       `json:"bytes,omitempty"`
+}
+
+// Agent is the per-VM measurement daemon: it answers control requests on
+// a TCP socket and runs an always-on UDP echo responder.
+type Agent struct {
+	ln   net.Listener
+	echo *EchoServer
+	ip   string
+	wg   sync.WaitGroup
+}
+
+// StartAgent binds the control listener on addr (e.g. "127.0.0.1:0") and
+// serves until Close.
+func StartAgent(addr string) (*Agent, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bind agent control: %w", err)
+	}
+	host, _, err := net.SplitHostPort(ln.Addr().String())
+	if err != nil {
+		host = ""
+	}
+	echo, err := NewEchoServer(host)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	a := &Agent{ln: ln, echo: echo, ip: host}
+	a.wg.Add(1)
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the control address to hand to a Coordinator.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// EchoPort returns the RTT echo port.
+func (a *Agent) EchoPort() int { return a.echo.Port() }
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	err := a.ln.Close()
+	_ = a.echo.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) serve() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.handle(conn)
+		}()
+	}
+}
+
+func (a *Agent) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if err := a.dispatch(&req, enc); err != nil {
+			_ = enc.Encode(Response{Error: err.Error()})
+		}
+	}
+}
+
+func (a *Agent) dispatch(req *Request, enc *json.Encoder) error {
+	switch req.Op {
+	case "info":
+		return enc.Encode(Response{OK: true, EchoPort: a.echo.Port()})
+
+	case "udp-recv":
+		cfg := reqConfig(req)
+		recv, err := NewTrainReceiver(a.ip)
+		if err != nil {
+			return err
+		}
+		defer recv.Close()
+		if err := enc.Encode(Response{OK: true, Port: recv.Port()}); err != nil {
+			return err
+		}
+		obs, err := recv.Receive(cfg, time.Duration(req.RTTNs),
+			reqTimeout(req, 10*time.Second), 500*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		resp := Response{OK: true}
+		for _, b := range obs.Bursts {
+			resp.Bursts = append(resp.Bursts, BurstJSON{
+				Sent: b.Sent, Received: b.Received,
+				HeadLost: b.HeadLost, TailLost: b.TailLost,
+				SpanNs: int64(b.Span),
+			})
+		}
+		return enc.Encode(resp)
+
+	case "udp-send":
+		cfg := reqConfig(req)
+		if err := SendTrain(req.Target, cfg); err != nil {
+			return err
+		}
+		return enc.Encode(Response{OK: true})
+
+	case "rtt":
+		rtt, err := MeasureRTT(req.Target, req.Count, reqTimeout(req, time.Second))
+		if err != nil {
+			return err
+		}
+		return enc.Encode(Response{OK: true, RTTNs: int64(rtt)})
+
+	case "tcp-recv":
+		recv, err := NewBulkReceiver(a.ip)
+		if err != nil {
+			return err
+		}
+		defer recv.Close()
+		if err := enc.Encode(Response{OK: true, Port: recv.Port()}); err != nil {
+			return err
+		}
+		rate, bytes, err := recv.Receive(reqTimeout(req, 30*time.Second))
+		if err != nil {
+			return err
+		}
+		return enc.Encode(Response{OK: true, RateBits: float64(rate), Bytes: int64(bytes)})
+
+	case "tcp-send":
+		dur := time.Duration(req.DurationMs) * time.Millisecond
+		if dur <= 0 {
+			dur = time.Second
+		}
+		sent, err := BulkSend(req.Target, dur)
+		if err != nil {
+			return err
+		}
+		return enc.Encode(Response{OK: true, Bytes: int64(sent)})
+	}
+	return fmt.Errorf("cluster: unknown op %q", req.Op)
+}
+
+func reqConfig(req *Request) probe.Config {
+	cfg := probe.DefaultEC2()
+	if req.Bursts > 0 {
+		cfg.Bursts = req.Bursts
+	}
+	if req.BurstLen > 0 {
+		cfg.BurstLength = req.BurstLen
+	}
+	if req.PacketSize > 0 {
+		cfg.PacketSize = units.ByteSize(req.PacketSize)
+	}
+	if req.GapUs > 0 {
+		cfg.Gap = time.Duration(req.GapUs) * time.Microsecond
+	}
+	return cfg
+}
+
+func reqTimeout(req *Request, def time.Duration) time.Duration {
+	if req.TimeoutMs > 0 {
+		return time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	return def
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"choreo/internal/probe"
+	"choreo/internal/units"
+)
+
+// tinyTrain keeps loopback tests fast and robust.
+func tinyTrain() probe.Config {
+	return probe.Config{
+		PacketSize:  512,
+		Bursts:      4,
+		BurstLength: 50,
+		Gap:         2 * time.Millisecond,
+		MSS:         1460,
+	}
+}
+
+func TestTrainSendReceiveLoopback(t *testing.T) {
+	recv, err := NewTrainReceiver("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	cfg := tinyTrain()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- SendTrain("127.0.0.1:"+itoa(recv.Port()), cfg)
+	}()
+	obs, err := recv.Receive(cfg, 100*time.Microsecond, 5*time.Second, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Bursts) != cfg.Bursts {
+		t.Fatalf("got %d bursts", len(obs.Bursts))
+	}
+	total := 0
+	for _, b := range obs.Bursts {
+		total += b.Received
+		if b.Received > b.Sent {
+			t.Errorf("burst received %d > sent %d", b.Received, b.Sent)
+		}
+	}
+	// Loopback should deliver nearly everything.
+	if total < cfg.Bursts*cfg.BurstLength*8/10 {
+		t.Fatalf("only %d/%d packets arrived", total, cfg.Bursts*cfg.BurstLength)
+	}
+	est, err := obs.EstimateThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loopback is fast: anything above 50 Mbit/s is plausible across CI
+	// environments; the point is the plumbing, not the absolute value.
+	if est < units.Mbps(50) {
+		t.Errorf("loopback estimate %v suspiciously low", est)
+	}
+}
+
+func TestSendTrainValidation(t *testing.T) {
+	bad := tinyTrain()
+	bad.PacketSize = 4 // below header size
+	if err := SendTrain("127.0.0.1:1", bad); err == nil {
+		t.Error("tiny packets should fail")
+	}
+	if err := SendTrain("127.0.0.1:1", probe.Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+}
+
+func TestEchoAndRTT(t *testing.T) {
+	echo, err := NewEchoServer("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Close()
+	rtt, err := MeasureRTT("127.0.0.1:"+itoa(echo.Port()), 5, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > 500*time.Millisecond {
+		t.Errorf("loopback RTT = %v", rtt)
+	}
+	if _, err := MeasureRTT("127.0.0.1:1", 2, 50*time.Millisecond); err == nil {
+		t.Error("dead echo target should fail")
+	}
+}
+
+func TestBulkTransferLoopback(t *testing.T) {
+	recv, err := NewBulkReceiver("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	go func() {
+		_, _ = BulkSend("127.0.0.1:"+itoa(recv.Port()), 300*time.Millisecond)
+	}()
+	rate, bytes, err := recv.Receive(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes <= 0 {
+		t.Fatal("no bytes received")
+	}
+	if rate < units.Mbps(10) {
+		t.Errorf("loopback bulk rate %v suspiciously low", rate)
+	}
+}
+
+func TestAgentCoordinatorMesh(t *testing.T) {
+	var agents []*Agent
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		a, err := StartAgent("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		agents = append(agents, a)
+		addrs = append(addrs, a.Addr())
+	}
+	coord := NewCoordinator(addrs, 10*time.Second)
+	if coord.Agents() != 3 {
+		t.Fatalf("agents = %d", coord.Agents())
+	}
+
+	res, err := coord.MeasureMesh(tinyTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				if res.Rates[i][j] != 0 {
+					t.Errorf("diagonal rate %v", res.Rates[i][j])
+				}
+				continue
+			}
+			if res.Rates[i][j] <= 0 {
+				t.Errorf("pair %d->%d rate %v", i, j, res.Rates[i][j])
+			}
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestAgentBulkThroughput(t *testing.T) {
+	a1, err := StartAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	a2, err := StartAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	coord := NewCoordinator([]string{a1.Addr(), a2.Addr()}, 10*time.Second)
+	rate, err := coord.BulkThroughput(0, 1, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < units.Mbps(10) {
+		t.Errorf("bulk throughput %v suspiciously low", rate)
+	}
+	if _, err := coord.BulkThroughput(0, 0, time.Second); err == nil {
+		t.Error("self bulk should fail")
+	}
+}
+
+func TestCoordinatorErrors(t *testing.T) {
+	coord := NewCoordinator([]string{"127.0.0.1:1"}, time.Second)
+	if _, err := coord.MeasureMesh(tinyTrain()); err == nil {
+		t.Error("single agent mesh should fail")
+	}
+	coord2 := NewCoordinator([]string{"127.0.0.1:1", "127.0.0.1:2"}, 500*time.Millisecond)
+	if _, err := coord2.MeasureMesh(tinyTrain()); err == nil {
+		t.Error("unreachable agents should fail")
+	}
+}
+
+func TestAgentUnknownOp(t *testing.T) {
+	a, err := StartAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c := NewCoordinator([]string{a.Addr()}, time.Second)
+	s, err := c.dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	if _, err := s.call(&Request{Op: "bogus"}); err == nil {
+		t.Error("unknown op should return an error response")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"choreo/internal/probe"
+	"choreo/internal/units"
+)
+
+// Coordinator drives a set of agents to measure the full mesh of paths
+// between them — the "centralized server" the paper gathers throughput
+// data on.
+type Coordinator struct {
+	agents  []string // control addresses
+	timeout time.Duration
+}
+
+// NewCoordinator takes agent control addresses.
+func NewCoordinator(agents []string, timeout time.Duration) *Coordinator {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Coordinator{agents: append([]string(nil), agents...), timeout: timeout}
+}
+
+// Agents returns the configured agent count.
+func (c *Coordinator) Agents() int { return len(c.agents) }
+
+// session is one control connection.
+type session struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+func (c *Coordinator) dial(addr string) (*session, error) {
+	conn, err := net.DialTimeout("tcp", addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial agent %s: %w", addr, err)
+	}
+	return &session{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+func (s *session) call(req *Request) (*Response, error) {
+	if err := s.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	return s.read()
+}
+
+func (s *session) read() (*Response, error) {
+	var resp Response
+	if err := s.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("cluster: agent error: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+func (s *session) close() { _ = s.conn.Close() }
+
+// EchoAddr asks an agent for its RTT echo address.
+func (c *Coordinator) EchoAddr(agent int) (string, error) {
+	s, err := c.dial(c.agents[agent])
+	if err != nil {
+		return "", err
+	}
+	defer s.close()
+	resp, err := s.call(&Request{Op: "info"})
+	if err != nil {
+		return "", err
+	}
+	host, _, err := net.SplitHostPort(c.agents[agent])
+	if err != nil {
+		return "", err
+	}
+	return net.JoinHostPort(host, fmt.Sprint(resp.EchoPort)), nil
+}
+
+// MeasurePath runs one packet train from agent src to agent dst and
+// returns the resulting observation (RTT included).
+func (c *Coordinator) MeasurePath(src, dst int, cfg probe.Config) (probe.Observation, error) {
+	if src == dst {
+		return probe.Observation{}, fmt.Errorf("cluster: src == dst")
+	}
+	echoAddr, err := c.EchoAddr(dst)
+	if err != nil {
+		return probe.Observation{}, err
+	}
+
+	srcSess, err := c.dial(c.agents[src])
+	if err != nil {
+		return probe.Observation{}, err
+	}
+	defer srcSess.close()
+
+	rttResp, err := srcSess.call(&Request{Op: "rtt", Target: echoAddr, Count: 5, TimeoutMs: 1000})
+	if err != nil {
+		return probe.Observation{}, fmt.Errorf("cluster: rtt %d->%d: %w", src, dst, err)
+	}
+
+	dstSess, err := c.dial(c.agents[dst])
+	if err != nil {
+		return probe.Observation{}, err
+	}
+	defer dstSess.close()
+
+	req := &Request{
+		Op:         "udp-recv",
+		Bursts:     cfg.Bursts,
+		BurstLen:   cfg.BurstLength,
+		PacketSize: int(cfg.PacketSize),
+		GapUs:      cfg.Gap.Microseconds(),
+		TimeoutMs:  c.timeout.Milliseconds(),
+		RTTNs:      rttResp.RTTNs,
+	}
+	ready, err := dstSess.call(req)
+	if err != nil {
+		return probe.Observation{}, fmt.Errorf("cluster: arm receiver %d: %w", dst, err)
+	}
+	host, _, err := net.SplitHostPort(c.agents[dst])
+	if err != nil {
+		return probe.Observation{}, err
+	}
+	target := net.JoinHostPort(host, fmt.Sprint(ready.Port))
+
+	sendReq := *req
+	sendReq.Op = "udp-send"
+	sendReq.Target = target
+	if _, err := srcSess.call(&sendReq); err != nil {
+		return probe.Observation{}, fmt.Errorf("cluster: send train %d->%d: %w", src, dst, err)
+	}
+
+	result, err := dstSess.read()
+	if err != nil {
+		return probe.Observation{}, fmt.Errorf("cluster: train result %d->%d: %w", src, dst, err)
+	}
+	obs := probe.Observation{Config: cfg, RTT: time.Duration(rttResp.RTTNs)}
+	for _, b := range result.Bursts {
+		obs.Bursts = append(obs.Bursts, probe.BurstObservation{
+			Sent: b.Sent, Received: b.Received,
+			HeadLost: b.HeadLost, TailLost: b.TailLost,
+			Span: time.Duration(b.SpanNs),
+		})
+	}
+	return obs, nil
+}
+
+// MeshResult is the outcome of measuring every ordered agent pair.
+type MeshResult struct {
+	// Rates[src][dst] is the estimated TCP throughput; zero on the
+	// diagonal.
+	Rates [][]units.Rate
+	// Elapsed is the wall-clock cost of the whole mesh.
+	Elapsed time.Duration
+}
+
+// MeasureMesh measures all ordered pairs sequentially, as Choreo does.
+func (c *Coordinator) MeasureMesh(cfg probe.Config) (*MeshResult, error) {
+	n := len(c.agents)
+	if n < 2 {
+		return nil, fmt.Errorf("cluster: mesh needs at least 2 agents, got %d", n)
+	}
+	res := &MeshResult{Rates: make([][]units.Rate, n)}
+	for i := range res.Rates {
+		res.Rates[i] = make([]units.Rate, n)
+	}
+	start := time.Now()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			obs, err := c.MeasurePath(src, dst, cfg)
+			if err != nil {
+				return nil, err
+			}
+			est, err := obs.EstimateThroughput()
+			if err != nil {
+				return nil, fmt.Errorf("cluster: estimate %d->%d: %w", src, dst, err)
+			}
+			res.Rates[src][dst] = est
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// BulkThroughput runs a netperf-style transfer from src to dst for the
+// given duration and returns the receiver-measured rate.
+func (c *Coordinator) BulkThroughput(src, dst int, duration time.Duration) (units.Rate, error) {
+	if src == dst {
+		return 0, fmt.Errorf("cluster: src == dst")
+	}
+	dstSess, err := c.dial(c.agents[dst])
+	if err != nil {
+		return 0, err
+	}
+	defer dstSess.close()
+	ready, err := dstSess.call(&Request{Op: "tcp-recv", TimeoutMs: (duration + c.timeout).Milliseconds()})
+	if err != nil {
+		return 0, err
+	}
+	host, _, err := net.SplitHostPort(c.agents[dst])
+	if err != nil {
+		return 0, err
+	}
+	target := net.JoinHostPort(host, fmt.Sprint(ready.Port))
+
+	srcSess, err := c.dial(c.agents[src])
+	if err != nil {
+		return 0, err
+	}
+	defer srcSess.close()
+	if _, err := srcSess.call(&Request{Op: "tcp-send", Target: target, DurationMs: duration.Milliseconds()}); err != nil {
+		return 0, err
+	}
+	result, err := dstSess.read()
+	if err != nil {
+		return 0, err
+	}
+	return units.Rate(result.RateBits), nil
+}

@@ -1,0 +1,238 @@
+// Package core is the Choreo orchestrator: it ties the measurement plane
+// (packet trains over internal/packetsim), the profiling plane
+// (internal/profile traffic matrices) and the placement engine
+// (internal/place) together, and executes placements by actually
+// transferring the profiled bytes on the internal/netsim fabric — the
+// simulated equivalent of the paper's EC2 runs ("these experiments
+// transfer real traffic on EC2; we do not merely calculate what the
+// application completion time would have been", §6.1).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"choreo/internal/bottleneck"
+	"choreo/internal/netsim"
+	"choreo/internal/packetsim"
+	"choreo/internal/place"
+	"choreo/internal/probe"
+	"choreo/internal/profile"
+	"choreo/internal/topology"
+	"choreo/internal/units"
+)
+
+// Algorithm selects a placement strategy.
+type Algorithm int
+
+// Placement algorithms compared in §6.
+const (
+	AlgChoreo Algorithm = iota
+	AlgRandom
+	AlgRoundRobin
+	AlgMinMachines
+	AlgOptimal
+)
+
+// String names the algorithm as the paper's figures do.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgChoreo:
+		return "choreo"
+	case AlgRandom:
+		return "random"
+	case AlgRoundRobin:
+		return "round robin"
+	case AlgMinMachines:
+		return "min machines"
+	case AlgOptimal:
+		return "optimal"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Options configures an orchestrator.
+type Options struct {
+	// TrainConfig parameterizes measurement; zero value uses DefaultEC2.
+	TrainConfig probe.Config
+	// Model is the rate model for greedy/optimal placement.
+	Model place.Model
+	// CPUPerVM is each VM's core count (the paper models four).
+	CPUPerVM float64
+	// UseIdealMeasurement skips packet trains and reads the simulator's
+	// available rates directly (for ablations).
+	UseIdealMeasurement bool
+}
+
+// Choreo orchestrates measurement, placement and execution over one
+// simulated network and a set of allocated VMs.
+type Choreo struct {
+	net    *netsim.Network
+	medium *packetsim.Medium
+	vms    []topology.VM
+	rng    *rand.Rand
+	opts   Options
+}
+
+// New builds an orchestrator. The rng drives measurement noise and the
+// Random baseline.
+func New(net *netsim.Network, vms []topology.VM, rng *rand.Rand, opts Options) (*Choreo, error) {
+	if len(vms) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 VMs, got %d", len(vms))
+	}
+	if opts.CPUPerVM <= 0 {
+		opts.CPUPerVM = 4
+	}
+	if opts.TrainConfig.Bursts == 0 {
+		opts.TrainConfig = probe.DefaultEC2()
+	}
+	return &Choreo{
+		net:    net,
+		medium: packetsim.NewMedium(net, rng),
+		vms:    vms,
+		rng:    rng,
+		opts:   opts,
+	}, nil
+}
+
+// Network exposes the underlying simulator.
+func (c *Choreo) Network() *netsim.Network { return c.net }
+
+// VMs returns the orchestrated VMs.
+func (c *Choreo) VMs() []topology.VM { return c.vms }
+
+// MeasureEnvironment builds the placement environment: the full-mesh rate
+// matrix via packet trains (one train per ordered pair, §3.1), hose rates
+// as the per-source maximum, and the per-VM CPU capacity.
+func (c *Choreo) MeasureEnvironment() (*place.Environment, error) {
+	n := len(c.vms)
+	env := &place.Environment{
+		Rates:  make([][]units.Rate, n),
+		CPUCap: make([]float64, n),
+	}
+	for i := range env.Rates {
+		env.Rates[i] = make([]units.Rate, n)
+		env.CPUCap[i] = c.opts.CPUPerVM
+	}
+	memBus := c.net.Provider().Profile.MemBusRate
+	for i, a := range c.vms {
+		env.Rates[i][i] = memBus
+		for j, b := range c.vms {
+			if i == j {
+				continue
+			}
+			var est units.Rate
+			if c.opts.UseIdealMeasurement {
+				r, err := c.net.AvailableRate(a.ID, b.ID)
+				if err != nil {
+					return nil, err
+				}
+				est = r
+			} else {
+				obs, err := c.medium.RunTrain(a.ID, b.ID, c.opts.TrainConfig)
+				if err != nil {
+					return nil, err
+				}
+				r, err := obs.EstimateThroughput()
+				if err != nil {
+					return nil, fmt.Errorf("core: estimate %d->%d: %w", i, j, err)
+				}
+				est = r
+			}
+			if est <= 0 {
+				est = units.Mbps(1) // keep the environment valid
+			}
+			env.Rates[i][j] = est
+		}
+	}
+	return env, nil
+}
+
+// DetectModel runs the §3.3 bottleneck survey on the first VMs and picks
+// the placement rate model: hose if same-source connections interfere
+// while disjoint ones do not.
+func (c *Choreo) DetectModel() (place.Model, error) {
+	if len(c.vms) < 4 {
+		return place.Pipe, fmt.Errorf("core: model detection needs 4 VMs")
+	}
+	s, err := bottleneck.RunSurvey(c.net, c.vms[:4], 20, 0)
+	if err != nil {
+		return place.Pipe, err
+	}
+	if s.SameSourceFraction() > 0.8 && s.DisjointFraction() < 0.2 {
+		return place.Hose, nil
+	}
+	return place.Pipe, nil
+}
+
+// Place runs the selected algorithm against a measured environment.
+func (c *Choreo) Place(app *profile.Application, env *place.Environment, alg Algorithm) (place.Placement, error) {
+	switch alg {
+	case AlgChoreo:
+		return place.Greedy(app, env, c.opts.Model)
+	case AlgRandom:
+		return place.Random(app, env, c.rng)
+	case AlgRoundRobin:
+		return place.RoundRobin(app, env)
+	case AlgMinMachines:
+		return place.MinMachines(app, env)
+	case AlgOptimal:
+		return place.Optimal(app, env, c.opts.Model, 0)
+	}
+	return place.Placement{}, fmt.Errorf("core: unknown algorithm %v", alg)
+}
+
+// Execute starts one flow per task-pair transfer under the placement and
+// runs the simulator until the application's last byte drains. Transfers
+// between tasks on the same VM cost no network time (the paper's
+// "avoiding any network transmission time"). It returns the application's
+// completion time (not counting measurement, matching §6.2).
+func (c *Choreo) Execute(app *profile.Application, p place.Placement) (time.Duration, error) {
+	if len(p.MachineOf) != app.Tasks() {
+		return 0, fmt.Errorf("core: placement covers %d tasks, app has %d", len(p.MachineOf), app.Tasks())
+	}
+	start := c.net.Now()
+	outstanding := 0
+	var lastFinish time.Duration
+	for _, tr := range app.TM.Transfers() {
+		srcVM := c.vms[p.MachineOf[tr.From]]
+		dstVM := c.vms[p.MachineOf[tr.To]]
+		if srcVM.ID == dstVM.ID {
+			continue // intra-VM: no network transfer
+		}
+		outstanding++
+		_, err := c.net.StartFlow(srcVM.ID, dstVM.ID, tr.Bytes, app.Name, func(f *netsim.Flow) {
+			outstanding--
+			if f.Finished() > lastFinish {
+				lastFinish = f.Finished()
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	if outstanding == 0 {
+		return 0, nil
+	}
+	maxSim := c.net.Now() + 1000*time.Hour
+	c.net.RunUntil(func() bool { return outstanding == 0 }, maxSim)
+	if outstanding > 0 {
+		return 0, fmt.Errorf("core: application %q did not finish within %v", app.Name, maxSim)
+	}
+	return lastFinish - start, nil
+}
+
+// RunOnce measures, places and executes a single (possibly combined)
+// application, returning the completion time.
+func (c *Choreo) RunOnce(app *profile.Application, alg Algorithm) (time.Duration, error) {
+	env, err := c.MeasureEnvironment()
+	if err != nil {
+		return 0, err
+	}
+	p, err := c.Place(app, env, alg)
+	if err != nil {
+		return 0, err
+	}
+	return c.Execute(app, p)
+}

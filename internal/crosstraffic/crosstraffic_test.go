@@ -1,0 +1,209 @@
+package crosstraffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"choreo/internal/bulk"
+	"choreo/internal/netsim"
+	"choreo/internal/topology"
+	"choreo/internal/units"
+)
+
+func TestEstimateBasics(t *testing.T) {
+	// The paper's worked example: 250 Mbit/s on a 1 Gbit/s path means
+	// three other connections.
+	c, err := Estimate(units.Gbps(1), units.Mbps(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-3) > 1e-9 {
+		t.Errorf("c = %v, want 3", c)
+	}
+	// Full rate => no cross traffic.
+	c, err = Estimate(units.Gbps(1), units.Gbps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("c = %v, want 0", c)
+	}
+	// Foreground above path rate clamps to zero rather than going negative.
+	c, err = Estimate(units.Gbps(1), units.Mbps(1100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("overfast foreground: c = %v, want 0", c)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(0, units.Mbps(100)); err == nil {
+		t.Error("zero path rate should fail")
+	}
+	if _, err := Estimate(units.Gbps(1), 0); err == nil {
+		t.Error("zero foreground should fail")
+	}
+}
+
+func TestEstimateUnknownCapacity(t *testing.T) {
+	// One background connection on a 1 Gbit/s path: r1=500, r2=333.3.
+	c, capacity, err := EstimateUnknownCapacity(units.Mbps(500), units.Mbps(1000.0/3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-6 {
+		t.Errorf("c = %v, want 1", c)
+	}
+	if math.Abs(capacity.Mbps()-1000) > 1e-3 {
+		t.Errorf("capacity = %v, want 1 Gbit/s", capacity)
+	}
+	// No reduction => unsaturated path.
+	if _, _, err := EstimateUnknownCapacity(units.Mbps(500), units.Mbps(500)); err == nil {
+		t.Error("r2 >= r1 should fail")
+	}
+	if _, _, err := EstimateUnknownCapacity(0, units.Mbps(1)); err == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+// Property: EstimateUnknownCapacity inverts the fair-share model for any
+// capacity and integer cross-traffic level.
+func TestUnknownCapacityInversionProperty(t *testing.T) {
+	f := func(capMbps uint16, cross uint8) bool {
+		capacity := float64(capMbps%9000) + 100
+		c := float64(cross % 20)
+		r1 := capacity / (c + 1)
+		r2 := capacity / (c + 2)
+		got, gotCap, err := EstimateUnknownCapacity(units.Mbps(r1), units.Mbps(r2))
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-c) < 1e-6 && math.Abs(gotCap.Mbps()-capacity) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRounded(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int
+	}{{2.6, 3}, {2.4, 2}, {0, 0}, {-1, 0}, {9.5, 10}}
+	for _, c := range cases {
+		if got := Rounded(c.in); got != c.want {
+			t.Errorf("Rounded(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPredictShare(t *testing.T) {
+	// The paper's example: measured 900 on a 1 Gbit/s link with a
+	// 100 Mbit/s background connection; Choreo sees c≈0.11 and predicts
+	// two connections on the path get ~450 each when c is 1... Using the
+	// formula directly: path 1 Gbit/s, c=0, k=2 => 500 each.
+	r, err := PredictShare(units.Gbps(1), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Mbps()-500) > 1e-9 {
+		t.Errorf("share = %v, want 500", r)
+	}
+	r, err = PredictShare(units.Gbps(1), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Mbps()-250) > 1e-9 {
+		t.Errorf("share = %v, want 250", r)
+	}
+	if _, err := PredictShare(units.Gbps(1), 0, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := PredictShare(0, 0, 1); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if r, _ := PredictShare(units.Gbps(1), -5, 1); math.Abs(r.Gbps()-1) > 1e-9 {
+		t.Errorf("negative c should clamp: %v", r)
+	}
+}
+
+func TestSeriesFromSimulatedForeground(t *testing.T) {
+	// Reproduce the Figure 4(a) mechanics in miniature: a foreground bulk
+	// flow on a shared 1 Gbit/s dumbbell with 4 backlogged background
+	// flows; the estimator should read c=4.
+	prov, err := topology.NewProvider(topology.Dumbbell(10, units.Gbps(10), units.Gbps(1)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prov.AllocateVMs(20); err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(prov)
+	for i := 1; i <= 4; i++ {
+		if _, err := net.StartFlow(topology.VMID(i), topology.VMID(i+10), netsim.Backlogged, "bg", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := bulk.Measure(net, 0, 10, bulk.Options{Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Series(res.Samples, units.Gbps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range pts {
+		if Rounded(p.C) != 4 {
+			t.Errorf("at %v estimated c=%v, want 4", p.At, p.C)
+		}
+	}
+}
+
+func TestSeriesSkipsZeroSamples(t *testing.T) {
+	samples := []bulk.Sample{
+		{At: 0, Rate: 0},
+		{At: time.Millisecond, Rate: units.Mbps(500)},
+	}
+	pts, err := Series(samples, units.Gbps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || math.Abs(pts[0].C-1) > 1e-9 {
+		t.Errorf("pts = %+v", pts)
+	}
+	if _, err := Series(samples, 0); err == nil {
+		t.Error("zero path rate should fail")
+	}
+}
+
+func TestNonBackloggedBackgroundUnderestimates(t *testing.T) {
+	// Paper §3.2 third assumption: a 100 Mbit/s offered-load background
+	// flow on a 1 Gbit/s path leaves 900 for the foreground, so Choreo
+	// sees c≈0.11 — nearly "no cross traffic" — which is fine for
+	// predictions until many connections land on the path.
+	// netsim models backlogged flows only, so emulate the offered load
+	// with a second path: here we just verify the arithmetic.
+	c, err := Estimate(units.Gbps(1), units.Mbps(900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > 0.2 {
+		t.Errorf("c = %v, want ~0.11", c)
+	}
+	share, err := PredictShare(units.Gbps(1), c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share.Mbps() < 450 || share.Mbps() > 500 {
+		t.Errorf("predicted 2-connection share = %v, want ~473", share)
+	}
+	_ = rand.New // keep import pattern consistent with sibling tests
+}

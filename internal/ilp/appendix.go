@@ -1,0 +1,252 @@
+package ilp
+
+import (
+	"fmt"
+
+	"choreo/internal/lp"
+)
+
+// PlacementInput is the data of the paper's Appendix program.
+//
+// Indices: J tasks, M machines. BytesB[i][j] is the data task i sends task
+// j (bytes). RateR[m][n] is the measured TCP throughput of path m→n in
+// bits/second, with RateR[m][m] the intra-machine rate. CPUDemand[i] is
+// cores required by task i; CPUCap[m] cores available on machine m.
+// HoseRate, when non-nil, adds the hose-model shared-bottleneck family
+// (S(m→i, m→j) = 1): the total egress of machine m is limited to
+// HoseRate[m] bits/second.
+type PlacementInput struct {
+	BytesB    [][]float64
+	RateR     [][]float64
+	CPUDemand []float64
+	CPUCap    []float64
+	HoseRate  []float64
+}
+
+// Validate checks dimensions.
+func (in *PlacementInput) Validate() error {
+	j := len(in.BytesB)
+	if j == 0 {
+		return fmt.Errorf("ilp: no tasks")
+	}
+	for i := range in.BytesB {
+		if len(in.BytesB[i]) != j {
+			return fmt.Errorf("ilp: BytesB row %d has %d entries, want %d", i, len(in.BytesB[i]), j)
+		}
+	}
+	m := len(in.RateR)
+	if m == 0 {
+		return fmt.Errorf("ilp: no machines")
+	}
+	for i := range in.RateR {
+		if len(in.RateR[i]) != m {
+			return fmt.Errorf("ilp: RateR row %d has %d entries, want %d", i, len(in.RateR[i]), m)
+		}
+		for k, r := range in.RateR[i] {
+			if r <= 0 {
+				return fmt.Errorf("ilp: rate[%d][%d] = %v must be positive", i, k, r)
+			}
+		}
+	}
+	if len(in.CPUDemand) != j {
+		return fmt.Errorf("ilp: CPUDemand has %d entries for %d tasks", len(in.CPUDemand), j)
+	}
+	if len(in.CPUCap) != m {
+		return fmt.Errorf("ilp: CPUCap has %d entries for %d machines", len(in.CPUCap), m)
+	}
+	if in.HoseRate != nil && len(in.HoseRate) != m {
+		return fmt.Errorf("ilp: HoseRate has %d entries for %d machines", len(in.HoseRate), m)
+	}
+	return nil
+}
+
+// PlacementProgram is the built program plus the variable layout needed
+// to decode solutions.
+type PlacementProgram struct {
+	Problem Problem
+	J, M    int
+}
+
+// pairIndex enumerates unordered task pairs (a<b).
+func pairIndex(a, b, j int) int {
+	// Index within the sequence (0,1),(0,2),...,(0,j-1),(1,2),...
+	return a*(2*j-a-1)/2 + (b - a - 1)
+}
+
+// xVar returns the column of X[i][m]; column 0 is the makespan z.
+func (p *PlacementProgram) xVar(i, m int) int { return 1 + i*p.M + m }
+
+// zVar returns the column of z[a on m][b on n] for a<b.
+func (p *PlacementProgram) zVar(a, m, b, n int) int {
+	pairs := pairIndex(a, b, p.J)
+	return 1 + p.J*p.M + pairs*p.M*p.M + m*p.M + n
+}
+
+// BuildPlacement constructs the linearized Appendix program:
+//
+//	minimize z
+//	s.t.  z ≥ Σ_{pairs} bits on path m→n / R_mn            ∀ m,n
+//	      z ≥ Σ_n Σ_{pairs} bits out of m / HoseRate_m     ∀ m (hose only)
+//	      Σ_i CPUDemand_i·X_im ≤ CPUCap_m                  ∀ m
+//	      Σ_m X_im = 1                                     ∀ i
+//	      z_ambn ≤ X_am, z_ambn ≤ X_bn                     ∀ a<b, m,n
+//	      Σ_{m,n} z_ambn = 1                               ∀ a<b
+//	      X, z_ambn ∈ {0,1}
+//
+// The per-pair sum-to-one constraint together with the ≤ links makes
+// z_ambn = X_am·X_bn at every integral point, which is the linearization
+// the Appendix derives.
+func BuildPlacement(in *PlacementInput) (*PlacementProgram, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	j := len(in.BytesB)
+	m := len(in.RateR)
+	prog := &PlacementProgram{J: j, M: m}
+	pairs := j * (j - 1) / 2
+	nVars := 1 + j*m + pairs*m*m
+
+	obj := make([]float64, nVars)
+	obj[0] = 1 // minimize z
+
+	var cons []lp.Constraint
+	newRow := func() []float64 { return make([]float64, nVars) }
+
+	// Completion-time constraints per directed machine pair.
+	for mm := 0; mm < m; mm++ {
+		for nn := 0; nn < m; nn++ {
+			row := newRow()
+			row[0] = 1
+			used := false
+			for a := 0; a < j; a++ {
+				for b := a + 1; b < j; b++ {
+					if bits := in.BytesB[a][b] * 8; bits > 0 {
+						row[prog.zVar(a, mm, b, nn)] -= bits / in.RateR[mm][nn]
+						used = true
+					}
+					if bits := in.BytesB[b][a] * 8; bits > 0 {
+						row[prog.zVar(a, nn, b, mm)] -= bits / in.RateR[mm][nn]
+						used = true
+					}
+				}
+			}
+			if used {
+				cons = append(cons, lp.Constraint{Coeffs: row, Op: lp.GE, RHS: 0})
+			}
+		}
+	}
+
+	// Hose-model constraints: total egress of machine m.
+	if in.HoseRate != nil {
+		for mm := 0; mm < m; mm++ {
+			row := newRow()
+			row[0] = 1
+			used := false
+			for nn := 0; nn < m; nn++ {
+				if nn == mm {
+					continue // intra-machine transfers bypass the hose
+				}
+				for a := 0; a < j; a++ {
+					for b := a + 1; b < j; b++ {
+						if bits := in.BytesB[a][b] * 8; bits > 0 {
+							row[prog.zVar(a, mm, b, nn)] -= bits / in.HoseRate[mm]
+							used = true
+						}
+						if bits := in.BytesB[b][a] * 8; bits > 0 {
+							row[prog.zVar(a, nn, b, mm)] -= bits / in.HoseRate[mm]
+							used = true
+						}
+					}
+				}
+			}
+			if used {
+				cons = append(cons, lp.Constraint{Coeffs: row, Op: lp.GE, RHS: 0})
+			}
+		}
+	}
+
+	// CPU capacity.
+	for mm := 0; mm < m; mm++ {
+		row := newRow()
+		for i := 0; i < j; i++ {
+			row[prog.xVar(i, mm)] = in.CPUDemand[i]
+		}
+		cons = append(cons, lp.Constraint{Coeffs: row, Op: lp.LE, RHS: in.CPUCap[mm]})
+	}
+
+	// Each task on exactly one machine.
+	for i := 0; i < j; i++ {
+		row := newRow()
+		for mm := 0; mm < m; mm++ {
+			row[prog.xVar(i, mm)] = 1
+		}
+		cons = append(cons, lp.Constraint{Coeffs: row, Op: lp.EQ, RHS: 1})
+	}
+
+	// Linking: z_ambn ≤ X_am, z_ambn ≤ X_bn; Σ_{m,n} z_ambn = 1.
+	for a := 0; a < j; a++ {
+		for b := a + 1; b < j; b++ {
+			sum := newRow()
+			for mm := 0; mm < m; mm++ {
+				for nn := 0; nn < m; nn++ {
+					zc := prog.zVar(a, mm, b, nn)
+					sum[zc] = 1
+
+					r1 := newRow()
+					r1[zc] = 1
+					r1[prog.xVar(a, mm)] = -1
+					cons = append(cons, lp.Constraint{Coeffs: r1, Op: lp.LE, RHS: 0})
+
+					r2 := newRow()
+					r2[zc] = 1
+					r2[prog.xVar(b, nn)] = -1
+					cons = append(cons, lp.Constraint{Coeffs: r2, Op: lp.LE, RHS: 0})
+				}
+			}
+			cons = append(cons, lp.Constraint{Coeffs: sum, Op: lp.EQ, RHS: 1})
+		}
+	}
+
+	var binaries []int
+	for i := 0; i < j; i++ {
+		for mm := 0; mm < m; mm++ {
+			binaries = append(binaries, prog.xVar(i, mm))
+		}
+	}
+	for a := 0; a < j; a++ {
+		for b := a + 1; b < j; b++ {
+			for mm := 0; mm < m; mm++ {
+				for nn := 0; nn < m; nn++ {
+					binaries = append(binaries, prog.zVar(a, mm, b, nn))
+				}
+			}
+		}
+	}
+
+	prog.Problem = Problem{
+		LP:     lp.Problem{Minimize: obj, Constraints: cons},
+		Binary: binaries,
+	}
+	return prog, nil
+}
+
+// DecodeAssignment extracts the machine of each task from a solution.
+func (p *PlacementProgram) DecodeAssignment(sol Solution) ([]int, error) {
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("ilp: no optimal solution to decode (%v)", sol.Status)
+	}
+	out := make([]int, p.J)
+	for i := 0; i < p.J; i++ {
+		out[i] = -1
+		for m := 0; m < p.M; m++ {
+			if sol.X[p.xVar(i, m)] > 0.5 {
+				out[i] = m
+				break
+			}
+		}
+		if out[i] < 0 {
+			return nil, fmt.Errorf("ilp: task %d unassigned in solution", i)
+		}
+	}
+	return out, nil
+}

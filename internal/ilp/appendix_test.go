@@ -1,0 +1,181 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+)
+
+// twoTaskInput: tasks 0->1 transfer 100 MB; two machines with a fast and
+// a slow direction; intra-machine rate is enormous.
+func twoTaskInput() *PlacementInput {
+	const mem = 32e9 // 4 GB/s in bits/s
+	return &PlacementInput{
+		BytesB: [][]float64{
+			{0, 100e6},
+			{0, 0},
+		},
+		RateR: [][]float64{
+			{mem, 800e6},
+			{200e6, mem},
+		},
+		CPUDemand: []float64{1, 1},
+		CPUCap:    []float64{4, 4},
+	}
+}
+
+func TestTwoTaskColocationWins(t *testing.T) {
+	// With CPU room on one machine, the optimal placement colocates the
+	// pair and the makespan is nearly zero.
+	prog, err := BuildPlacement(twoTaskInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(prog.Problem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := prog.DecodeAssignment(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg[0] != asg[1] {
+		t.Errorf("optimal should colocate: %v", asg)
+	}
+	if sol.Objective > 0.1 {
+		t.Errorf("colocated makespan = %v s, want ~0.025", sol.Objective)
+	}
+}
+
+func TestTwoTaskSplitUsesFastDirection(t *testing.T) {
+	// Force one task per machine via CPU and check the solver picks the
+	// 800 Mbit/s direction: task0 on machine0.
+	in := twoTaskInput()
+	in.CPUCap = []float64{1, 1}
+	prog, err := BuildPlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(prog.Problem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := prog.DecodeAssignment(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg[0] != 0 || asg[1] != 1 {
+		t.Errorf("assignment = %v, want [0 1]", asg)
+	}
+	want := 100e6 * 8 / 800e6
+	if math.Abs(sol.Objective-want) > 1e-6 {
+		t.Errorf("makespan = %v, want %v", sol.Objective, want)
+	}
+}
+
+func TestHoseConstraintBindsSum(t *testing.T) {
+	// Three tasks: 0 sends 100 MB to each of 1 and 2. Three machines,
+	// one task each (CPU), all pipe rates 1 Gbit/s, hose 1 Gbit/s.
+	// Pipe-only makespan would be 0.8 s (parallel transfers); the hose
+	// makes the two transfers share task 0's egress: 1.6 s.
+	in := &PlacementInput{
+		BytesB: [][]float64{
+			{0, 100e6, 100e6},
+			{0, 0, 0},
+			{0, 0, 0},
+		},
+		RateR: [][]float64{
+			{32e9, 1e9, 1e9},
+			{1e9, 32e9, 1e9},
+			{1e9, 1e9, 32e9},
+		},
+		CPUDemand: []float64{1, 1, 1},
+		CPUCap:    []float64{1, 1, 1},
+	}
+	prog, err := BuildPlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(prog.Problem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-0.8) > 1e-6 {
+		t.Fatalf("pipe-only makespan = %v, want 0.8", sol.Objective)
+	}
+
+	in.HoseRate = []float64{1e9, 1e9, 1e9}
+	prog2, err := BuildPlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := Solve(prog2.Problem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol2.Objective-1.6) > 1e-6 {
+		t.Errorf("hose makespan = %v, want 1.6", sol2.Objective)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := BuildPlacement(&PlacementInput{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	in := twoTaskInput()
+	in.RateR[0][1] = 0
+	if _, err := BuildPlacement(in); err == nil {
+		t.Error("zero rate should fail")
+	}
+	in2 := twoTaskInput()
+	in2.CPUDemand = []float64{1}
+	if _, err := BuildPlacement(in2); err == nil {
+		t.Error("CPU length mismatch should fail")
+	}
+	in3 := twoTaskInput()
+	in3.HoseRate = []float64{1e9}
+	if _, err := BuildPlacement(in3); err == nil {
+		t.Error("hose length mismatch should fail")
+	}
+	in4 := twoTaskInput()
+	in4.BytesB = [][]float64{{0}, {0, 0}}
+	if _, err := BuildPlacement(in4); err == nil {
+		t.Error("ragged bytes should fail")
+	}
+}
+
+func TestCPUInfeasible(t *testing.T) {
+	in := twoTaskInput()
+	in.CPUDemand = []float64{3, 3}
+	in.CPUCap = []float64{2, 2}
+	prog, err := BuildPlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(prog.Problem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == 0 { // lp.Optimal
+		t.Errorf("over-subscribed CPUs should be infeasible, got %v", sol.X)
+	}
+	if _, err := prog.DecodeAssignment(sol); err == nil {
+		t.Error("decoding a non-optimal solution should fail")
+	}
+}
+
+func TestPairIndexDense(t *testing.T) {
+	j := 5
+	seen := map[int]bool{}
+	for a := 0; a < j; a++ {
+		for b := a + 1; b < j; b++ {
+			idx := pairIndex(a, b, j)
+			if idx < 0 || idx >= j*(j-1)/2 {
+				t.Fatalf("pairIndex(%d,%d) = %d out of range", a, b, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("pairIndex(%d,%d) = %d collides", a, b, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package ilp solves small 0-1 integer linear programs by branch and
+// bound over LP relaxations (internal/lp), and builds the paper's
+// Appendix placement program: the linearized quadratic formulation that
+// minimizes application completion time exactly.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"choreo/internal/lp"
+)
+
+// Problem is an LP plus a set of variables restricted to {0,1}.
+type Problem struct {
+	LP     lp.Problem
+	Binary []int
+}
+
+// Solution is the incumbent found by branch and bound.
+type Solution struct {
+	Status    lp.Status
+	X         []float64
+	Objective float64
+	Nodes     int // LP relaxations solved
+}
+
+const intTol = 1e-6
+
+// Solve runs depth-first branch and bound. maxNodes bounds the number of
+// LP relaxations solved (0 means a generous default); exceeding it returns
+// an error rather than a silently suboptimal answer.
+func Solve(p Problem, maxNodes int) (Solution, error) {
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	n := len(p.LP.Minimize)
+	for _, b := range p.Binary {
+		if b < 0 || b >= n {
+			return Solution{}, fmt.Errorf("ilp: binary index %d out of range", b)
+		}
+	}
+	isBinary := make([]bool, n)
+	for _, b := range p.Binary {
+		isBinary[b] = true
+	}
+
+	// Binary upper bounds once, shared by every node.
+	base := p.LP
+	base.Constraints = append([]lp.Constraint(nil), p.LP.Constraints...)
+	for _, b := range p.Binary {
+		co := make([]float64, n)
+		co[b] = 1
+		base.Constraints = append(base.Constraints, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 1})
+	}
+
+	best := Solution{Status: lp.Infeasible, Objective: math.Inf(1)}
+	nodes := 0
+
+	// fixings maps variable -> 0/1 for the current node.
+	var solve func(fixings map[int]float64) error
+	solve = func(fixings map[int]float64) error {
+		if nodes >= maxNodes {
+			return fmt.Errorf("ilp: node budget %d exhausted", maxNodes)
+		}
+		nodes++
+		prob := base
+		prob.Constraints = append([]lp.Constraint(nil), base.Constraints...)
+		for v, val := range fixings {
+			co := make([]float64, n)
+			co[v] = 1
+			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: co, Op: lp.EQ, RHS: val})
+		}
+		rel, err := lp.Solve(prob)
+		if err != nil {
+			return err
+		}
+		if rel.Status == lp.Unbounded {
+			return fmt.Errorf("ilp: relaxation unbounded; add bounds to the formulation")
+		}
+		if rel.Status == lp.Infeasible || rel.Objective >= best.Objective-1e-9 {
+			return nil // pruned
+		}
+		// Find the most fractional binary.
+		branch := -1
+		worst := intTol
+		for _, b := range p.Binary {
+			frac := math.Abs(rel.X[b] - math.Round(rel.X[b]))
+			if frac > worst {
+				worst = frac
+				branch = b
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			x := append([]float64(nil), rel.X...)
+			for _, b := range p.Binary {
+				x[b] = math.Round(x[b])
+			}
+			best = Solution{Status: lp.Optimal, X: x, Objective: rel.Objective}
+			return nil
+		}
+		// Try the rounded value first for a good incumbent early.
+		first := math.Round(rel.X[branch])
+		if first != 0 && first != 1 {
+			first = 0
+		}
+		for _, val := range []float64{first, 1 - first} {
+			fixings[branch] = val
+			if err := solve(fixings); err != nil {
+				return err
+			}
+			delete(fixings, branch)
+		}
+		return nil
+	}
+
+	if err := solve(map[int]float64{}); err != nil {
+		return Solution{}, err
+	}
+	best.Nodes = nodes
+	return best, nil
+}

@@ -1,0 +1,128 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"choreo/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c <= 2 (binary) => pick a and b = 16.
+	p := Problem{
+		LP: lp.Problem{
+			Minimize: []float64{-10, -6, -4},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1, 1, 1}, Op: lp.LE, RHS: 2},
+			},
+		},
+		Binary: []int{0, 1, 2},
+	}
+	s, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != lp.Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Objective+16) > 1e-6 {
+		t.Errorf("objective = %v, want -16", s.Objective)
+	}
+	if s.X[0] != 1 || s.X[1] != 1 || s.X[2] != 0 {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestFractionalLPBecomesIntegral(t *testing.T) {
+	// LP relaxation of: max a+b s.t. 2a+2b <= 3, binaries => LP gives
+	// a+b = 1.5; ILP must give 1.
+	p := Problem{
+		LP: lp.Problem{
+			Minimize: []float64{-1, -1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{2, 2}, Op: lp.LE, RHS: 3},
+			},
+		},
+		Binary: []int{0, 1},
+	}
+	s, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective+1) > 1e-6 {
+		t.Errorf("objective = %v, want -1", s.Objective)
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	// a + b = 1.5 with binaries has no integral solution... the LP itself
+	// is feasible (a=1, b=0.5) but no binary point satisfies it.
+	p := Problem{
+		LP: lp.Problem{
+			Minimize: []float64{1, 1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1, 1}, Op: lp.EQ, RHS: 1.5},
+			},
+		},
+		Binary: []int{0, 1},
+	}
+	s, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status == lp.Optimal {
+		t.Errorf("expected no integral solution, got %v", s.X)
+	}
+}
+
+func TestBinaryIndexValidation(t *testing.T) {
+	p := Problem{
+		LP:     lp.Problem{Minimize: []float64{1}},
+		Binary: []int{3},
+	}
+	if _, err := Solve(p, 0); err == nil {
+		t.Error("out-of-range binary index should fail")
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	// A problem needing several nodes with budget 1 must error.
+	p := Problem{
+		LP: lp.Problem{
+			Minimize: []float64{-1, -1, -1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{2, 2, 2}, Op: lp.LE, RHS: 3},
+			},
+		},
+		Binary: []int{0, 1, 2},
+	}
+	if _, err := Solve(p, 1); err == nil {
+		t.Error("node budget should be enforced")
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min z s.t. z >= 3a, z >= 5b, a+b = 1 (a,b binary; z continuous):
+	// best is a=0, b=1? z>=5... a=1,b=0 gives z>=3 => 3.
+	p := Problem{
+		LP: lp.Problem{
+			Minimize: []float64{1, 0, 0},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1, -3, 0}, Op: lp.GE, RHS: 0},
+				{Coeffs: []float64{1, 0, -5}, Op: lp.GE, RHS: 0},
+				{Coeffs: []float64{0, 1, 1}, Op: lp.EQ, RHS: 1},
+			},
+		},
+		Binary: []int{1, 2},
+	}
+	s, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-3) > 1e-6 {
+		t.Errorf("objective = %v, want 3", s.Objective)
+	}
+	if s.X[1] != 1 || s.X[2] != 0 {
+		t.Errorf("x = %v", s.X)
+	}
+}

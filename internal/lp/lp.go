@@ -1,0 +1,318 @@
+// Package lp is a dense two-phase primal simplex solver for small linear
+// programs. Choreo uses it as the relaxation engine inside internal/ilp,
+// which solves the paper's Appendix placement program exactly on small
+// instances. Bland's rule guarantees termination on degenerate problems.
+//
+// Problems are stated as: minimize C·x subject to linear constraints with
+// operators ≤, ≥, =, and x ≥ 0.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // ≤
+	GE           // ≥
+	EQ           // =
+)
+
+// Constraint is Coeffs·x Op RHS.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is minimize Minimize·x subject to Constraints, x ≥ 0.
+type Problem struct {
+	Minimize    []float64
+	Constraints []Constraint
+}
+
+// Status reports the solver outcome.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Solution holds the solver result. X is meaningful only when Status is
+// Optimal.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// tableau is the working state of the simplex method.
+type tableau struct {
+	m, n     int // constraints, structural variables
+	cols     int // structural + slack + artificial
+	nArt     int
+	rows     [][]float64 // m rows of cols+1 (last = RHS)
+	basis    []int       // basic variable per row
+	artStart int         // first artificial column
+	banned   []bool      // columns excluded from entering (phase 2 artificials)
+}
+
+// Solve runs two-phase simplex.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.Minimize)
+	if n == 0 {
+		return Solution{}, fmt.Errorf("lp: empty objective")
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return Solution{}, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+	}
+
+	t := build(p)
+
+	// Phase 1: minimize the sum of artificials.
+	if t.nArt > 0 {
+		phase1 := make([]float64, t.cols)
+		for j := t.artStart; j < t.cols; j++ {
+			phase1[j] = 1
+		}
+		status := t.iterate(phase1)
+		if status == Unbounded {
+			// A pure artificial objective cannot be unbounded below 0.
+			return Solution{}, fmt.Errorf("lp: internal error: unbounded phase 1")
+		}
+		if obj := t.objective(phase1); obj > 1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		t.evictArtificials()
+		for j := t.artStart; j < t.cols; j++ {
+			t.banned[j] = true
+		}
+	}
+
+	// Phase 2: the real objective over structural + slack columns.
+	phase2 := make([]float64, t.cols)
+	copy(phase2, p.Minimize)
+	status := t.iterate(phase2)
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b >= 0 && b < n {
+			x[b] = t.rows[i][t.cols]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.Minimize[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// build assembles the tableau in standard form with RHS ≥ 0.
+func build(p Problem) *tableau {
+	n := len(p.Minimize)
+	m := len(p.Constraints)
+	nSlack, nArt := 0, 0
+	for _, c := range p.Constraints {
+		switch c.Op {
+		case LE, GE:
+			nSlack++
+		}
+		op, rhs := c.Op, c.RHS
+		if rhs < 0 {
+			op = flip(op)
+		}
+		if op != LE {
+			nArt++
+		}
+	}
+	t := &tableau{
+		m:        m,
+		n:        n,
+		cols:     n + nSlack + nArt,
+		nArt:     nArt,
+		artStart: n + nSlack,
+		basis:    make([]int, m),
+	}
+	t.banned = make([]bool, t.cols)
+	t.rows = make([][]float64, m)
+	slack := n
+	art := t.artStart
+	for i, c := range p.Constraints {
+		row := make([]float64, t.cols+1)
+		sign := 1.0
+		op := c.Op
+		if c.RHS < 0 {
+			sign = -1
+			op = flip(op)
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		row[t.cols] = sign * c.RHS
+		switch op {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.rows[i] = row
+	}
+	return t
+}
+
+func flip(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// objective evaluates the cost of the current basic solution.
+func (t *tableau) objective(cost []float64) float64 {
+	obj := 0.0
+	for i, b := range t.basis {
+		if b >= 0 {
+			obj += cost[b] * t.rows[i][t.cols]
+		}
+	}
+	return obj
+}
+
+// iterate runs simplex pivots under Bland's rule until optimal or
+// unbounded.
+func (t *tableau) iterate(cost []float64) Status {
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			// Bland's rule precludes cycling; this is a safety net.
+			return Optimal
+		}
+		// Reduced costs r_j = c_j - cB·column_j.
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if t.banned[j] || t.isBasic(j) {
+				continue
+			}
+			r := cost[j]
+			for i, b := range t.basis {
+				if b >= 0 && cost[b] != 0 {
+					r -= cost[b] * t.rows[i][j]
+				}
+			}
+			if r < -eps {
+				enter = j // Bland: first (smallest index) improving column
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test with Bland tie-breaking on basis variable index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][enter]
+			if a > eps {
+				ratio := t.rows[i][t.cols] / a
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for _, b := range t.basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot performs Gauss-Jordan elimination around (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+	}
+	t.basis[row] = col
+}
+
+// evictArtificials pivots basic artificial variables (at zero) out of the
+// basis where possible so phase 2 can ignore them.
+func (t *tableau) evictArtificials() {
+	for i, b := range t.basis {
+		if b < t.artStart {
+			continue
+		}
+		// Find any non-artificial column with a nonzero entry in this row.
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > eps && !t.isBasic(j) {
+				t.pivot(i, j)
+				break
+			}
+		}
+		// If none exists the row is redundant; the artificial stays basic
+		// at value zero and is harmless.
+	}
+}

@@ -1,0 +1,238 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic Dantzig)
+	// => x=2, y=6, obj=36. As minimization of the negative.
+	p := Problem{
+		Minimize: []float64{-3, -5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Op: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Op: LE, RHS: 18},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-6) > 1e-6 {
+		t.Errorf("x = %v, want [2 6]", s.X)
+	}
+	if math.Abs(s.Objective+36) > 1e-6 {
+		t.Errorf("objective = %v, want -36", s.Objective)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x >= 3, y >= 2 => x=8, y=2, obj=12.
+	p := Problem{
+		Minimize: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 10},
+			{Coeffs: []float64{1, 0}, Op: GE, RHS: 3},
+			{Coeffs: []float64{0, 1}, Op: GE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-8) > 1e-6 || math.Abs(s.X[1]-2) > 1e-6 {
+		t.Errorf("x = %v, want [8 2]", s.X)
+	}
+	if math.Abs(s.Objective-12) > 1e-6 {
+		t.Errorf("objective = %v", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x >= 5 and x <= 3.
+	p := Problem{
+		Minimize: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 5},
+			{Coeffs: []float64{1}, Op: LE, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x >= 1: drive x up forever.
+	p := Problem{
+		Minimize: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -3  <=>  x >= 3; min x => 3.
+	p := Problem{
+		Minimize: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Op: LE, RHS: -3},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-3) > 1e-6 {
+		t.Errorf("x = %v, want 3", s.X[0])
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Beale's example of cycling under naive pivoting; Bland's rule must
+	// terminate. min -0.75x4 + 150x5 - 0.02x6 + 6x7 form (classic).
+	p := Problem{
+		Minimize: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Op: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// x + y = 4 stated twice; min x s.t. y <= 3 => x=1.
+	p := Problem{
+		Minimize: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 4},
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 4},
+			{Coeffs: []float64{0, 1}, Op: LE, RHS: 3},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-1) > 1e-6 {
+		t.Errorf("x = %v, want 1", s.X[0])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("empty objective should fail")
+	}
+	p := Problem{
+		Minimize:    []float64{1, 2},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Op: LE, RHS: 1}},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Error("coefficient length mismatch should fail")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(7).String() != "status(7)" {
+		t.Error("status names wrong")
+	}
+}
+
+// Property: on random bounded feasible LPs, the solution satisfies every
+// constraint and beats a sample of random feasible points.
+func TestRandomLPsFeasibleAndLocallyOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(4) + 2
+		m := rng.Intn(4) + 2
+		p := Problem{Minimize: make([]float64, n)}
+		for j := range p.Minimize {
+			p.Minimize[j] = rng.NormFloat64()
+		}
+		// Box constraints keep it bounded: x_j <= U_j.
+		for j := 0; j < n; j++ {
+			co := make([]float64, n)
+			co[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Op: LE, RHS: 1 + rng.Float64()*5})
+		}
+		// Random extra <= constraints with nonnegative coefficients keep 0 feasible.
+		for k := 0; k < m; k++ {
+			co := make([]float64, n)
+			for j := range co {
+				co[j] = rng.Float64()
+			}
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Op: LE, RHS: 1 + rng.Float64()*3})
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v (0 is feasible, box-bounded)", trial, s.Status)
+		}
+		// Feasibility.
+		for ci, c := range p.Constraints {
+			lhs := 0.0
+			for j := range c.Coeffs {
+				lhs += c.Coeffs[j] * s.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, ci, lhs, c.RHS)
+			}
+		}
+		for j, v := range s.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, v)
+			}
+		}
+		// Compare against random feasible points (rejection sampling).
+		for probe := 0; probe < 200; probe++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 3
+			}
+			feasible := true
+			obj := 0.0
+			for _, c := range p.Constraints {
+				lhs := 0.0
+				for j := range c.Coeffs {
+					lhs += c.Coeffs[j] * x[j]
+				}
+				if lhs > c.RHS {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			for j := range x {
+				obj += p.Minimize[j] * x[j]
+			}
+			if obj < s.Objective-1e-6 {
+				t.Fatalf("trial %d: random point beats simplex: %v < %v", trial, obj, s.Objective)
+			}
+		}
+	}
+}

@@ -1,0 +1,621 @@
+// Package netsim is a flow-level datacenter network simulator. It allocates
+// bandwidth to TCP-like flows with max-min fairness (progressive filling)
+// over the links of a topology.Provider fabric, honouring each VM's
+// hose-model egress limit and each link's ambient (other-tenant) load, and
+// advances simulated time event-by-event as flows finish, timers fire, and
+// ON-OFF background sources toggle.
+//
+// The simulator is Choreo's stand-in for "actually transferring data on
+// EC2" (paper §6.1): placements are executed by starting one flow per task
+// pair and running the event loop until the last byte drains.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"choreo/internal/topology"
+	"choreo/internal/units"
+)
+
+// FlowID identifies a flow within one Network.
+type FlowID int64
+
+// Backlogged marks a flow with no byte limit; it runs until stopped.
+const Backlogged units.ByteSize = -1
+
+type constraintKind uint8
+
+const (
+	constraintPhys constraintKind = iota
+	constraintHose
+	constraintMemBus
+)
+
+// constraintKey names one capacity constraint: a physical directed link, a
+// VM's egress hose, or a host's memory bus (for colocated VM pairs).
+type constraintKey struct {
+	kind constraintKind
+	id   int32
+}
+
+// Flow is one TCP-like transfer between two VMs.
+type Flow struct {
+	ID   FlowID
+	Src  topology.VMID
+	Dst  topology.VMID
+	Tag  string
+	Path *topology.Path
+
+	// Rate is the current max-min allocation. Valid after the Network has
+	// (re)allocated, i.e. whenever the caller observes the flow between
+	// events.
+	Rate units.Rate
+
+	// remaining bytes; <0 means backlogged.
+	remaining float64
+	keys      []constraintKey
+	started   time.Duration
+	finished  time.Duration
+	done      bool
+	onFinish  func(*Flow)
+}
+
+// Remaining returns the bytes the flow still has to transfer, or
+// Backlogged for an unbounded flow.
+func (f *Flow) Remaining() units.ByteSize {
+	if f.remaining < 0 {
+		return Backlogged
+	}
+	return units.ByteSize(math.Ceil(f.remaining))
+}
+
+// Done reports whether the flow has delivered all its bytes.
+func (f *Flow) Done() bool { return f.done }
+
+// Started returns the simulation time the flow started.
+func (f *Flow) Started() time.Duration { return f.started }
+
+// Finished returns the simulation time the flow completed; zero if it has
+// not.
+func (f *Flow) Finished() time.Duration { return f.finished }
+
+// timer is a scheduled callback.
+type timer struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Network simulates one provider fabric with a set of active flows.
+type Network struct {
+	prov *topology.Provider
+
+	flows  map[FlowID]*Flow
+	active []*Flow
+	nextID FlowID
+
+	now    time.Duration
+	timers timerHeap
+	seq    int64
+
+	dirty bool
+}
+
+// New creates a simulator over the provider's fabric and VMs.
+func New(prov *topology.Provider) *Network {
+	return &Network{
+		prov:  prov,
+		flows: make(map[FlowID]*Flow),
+	}
+}
+
+// Provider returns the underlying provider.
+func (n *Network) Provider() *topology.Provider { return n.prov }
+
+// Now returns the current simulation time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// ActiveFlows returns the number of currently running flows.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// StartFlow begins a transfer of the given size from src to dst. A size of
+// Backlogged (or any negative value) runs until StopFlow. onFinish, if
+// non-nil, is invoked from the event loop when the last byte drains.
+func (n *Network) StartFlow(src, dst topology.VMID, size units.ByteSize, tag string, onFinish func(*Flow)) (*Flow, error) {
+	if src == dst {
+		return nil, fmt.Errorf("netsim: flow from %d to itself", src)
+	}
+	path, err := n.prov.Path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flow{
+		ID:       n.nextID,
+		Src:      src,
+		Dst:      dst,
+		Tag:      tag,
+		Path:     path,
+		started:  n.now,
+		onFinish: onFinish,
+	}
+	n.nextID++
+	if size < 0 {
+		f.remaining = -1
+	} else {
+		f.remaining = float64(size)
+	}
+	f.keys = n.constraintsFor(path)
+	n.flows[f.ID] = f
+	n.active = append(n.active, f)
+	n.dirty = true
+	return f, nil
+}
+
+// StopFlow removes a flow (finished or not). Stopping an unknown or
+// already-finished flow is a no-op.
+func (n *Network) StopFlow(id FlowID) {
+	f, ok := n.flows[id]
+	if !ok {
+		return
+	}
+	delete(n.flows, id)
+	if !f.done {
+		for i, g := range n.active {
+			if g.ID == id {
+				n.active = append(n.active[:i], n.active[i+1:]...)
+				break
+			}
+		}
+		n.dirty = true
+	}
+}
+
+// constraintsFor maps a path to its capacity constraints: the source hose
+// plus every physical link, or the host memory bus for a colocated pair.
+func (n *Network) constraintsFor(path *topology.Path) []constraintKey {
+	if path.SameHost {
+		host := n.prov.VM(path.Src).Host
+		return []constraintKey{{kind: constraintMemBus, id: int32(host)}}
+	}
+	keys := make([]constraintKey, 0, len(path.Links)+1)
+	keys = append(keys, constraintKey{kind: constraintHose, id: int32(path.Src)})
+	for _, l := range path.Links {
+		keys = append(keys, constraintKey{kind: constraintPhys, id: int32(l)})
+	}
+	return keys
+}
+
+func (n *Network) capacityOf(k constraintKey) float64 {
+	switch k.kind {
+	case constraintPhys:
+		link := n.prov.Topo.Links[k.id]
+		return float64(link.Capacity) * (1 - n.prov.AmbientUtilization(topology.LinkID(k.id)))
+	case constraintHose:
+		return float64(n.prov.VM(topology.VMID(k.id)).EgressRate)
+	case constraintMemBus:
+		return float64(n.prov.Profile.MemBusRate)
+	}
+	panic("netsim: unknown constraint kind")
+}
+
+// allocate computes max-min fair rates for all active flows via
+// progressive filling: repeatedly find the constraint with the smallest
+// fair share, freeze its flows at that share, and remove their demand.
+func (n *Network) allocate() {
+	n.dirty = false
+	if len(n.active) == 0 {
+		return
+	}
+
+	type slot struct {
+		rem    float64
+		nAlive int
+	}
+	index := make(map[constraintKey]int)
+	var slots []slot
+	flowSlots := make([][]int, len(n.active))
+	for fi, f := range n.active {
+		fs := make([]int, len(f.keys))
+		for ki, k := range f.keys {
+			si, ok := index[k]
+			if !ok {
+				si = len(slots)
+				index[k] = si
+				slots = append(slots, slot{rem: n.capacityOf(k)})
+			}
+			slots[si].nAlive++
+			fs[ki] = si
+		}
+		flowSlots[fi] = fs
+		n.active[fi].Rate = 0
+	}
+
+	frozen := make([]bool, len(n.active))
+	remaining := len(n.active)
+	for remaining > 0 {
+		// Find the tightest constraint.
+		best := -1
+		bestShare := math.Inf(1)
+		for si := range slots {
+			if slots[si].nAlive == 0 {
+				continue
+			}
+			share := slots[si].rem / float64(slots[si].nAlive)
+			if share < bestShare {
+				bestShare = share
+				best = si
+			}
+		}
+		if best < 0 {
+			// No live constraints left (cannot happen while flows remain,
+			// since every flow has at least one constraint).
+			break
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		// Freeze every unfrozen flow crossing the tightest constraint.
+		for fi, f := range n.active {
+			if frozen[fi] {
+				continue
+			}
+			crosses := false
+			for _, si := range flowSlots[fi] {
+				if si == best {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			frozen[fi] = true
+			remaining--
+			f.Rate = units.Rate(bestShare)
+			for _, si := range flowSlots[fi] {
+				slots[si].rem -= bestShare
+				slots[si].nAlive--
+				if slots[si].rem < 0 {
+					slots[si].rem = 0
+				}
+			}
+		}
+	}
+}
+
+// Rates returns the current rate of every active flow, allocating first if
+// needed.
+func (n *Network) Rates() map[FlowID]units.Rate {
+	if n.dirty {
+		n.allocate()
+	}
+	out := make(map[FlowID]units.Rate, len(n.active))
+	for _, f := range n.active {
+		out[f.ID] = f.Rate
+	}
+	return out
+}
+
+// CurrentRate returns the rate of one active flow.
+func (n *Network) CurrentRate(id FlowID) (units.Rate, error) {
+	if n.dirty {
+		n.allocate()
+	}
+	f, ok := n.flows[id]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown flow %d", id)
+	}
+	if f.done {
+		return 0, nil
+	}
+	return f.Rate, nil
+}
+
+// AvailableRate reports the rate a new backlogged flow from src to dst
+// would receive right now, without disturbing the network. This is what a
+// netperf run (or an ideal packet train) measures.
+func (n *Network) AvailableRate(src, dst topology.VMID) (units.Rate, error) {
+	f, err := n.StartFlow(src, dst, Backlogged, "probe", nil)
+	if err != nil {
+		return 0, err
+	}
+	n.allocate()
+	rate := f.Rate
+	n.StopFlow(f.ID)
+	n.allocate()
+	return rate, nil
+}
+
+// Schedule runs fn at the given absolute simulation time. Times in the
+// past run at the current time.
+func (n *Network) Schedule(at time.Duration, fn func()) {
+	if at < n.now {
+		at = n.now
+	}
+	n.seq++
+	heap.Push(&n.timers, &timer{at: at, seq: n.seq, fn: fn})
+}
+
+// ScheduleEvery runs fn at now+interval, then every interval thereafter,
+// until fn returns false.
+func (n *Network) ScheduleEvery(interval time.Duration, fn func() bool) {
+	if interval <= 0 {
+		return
+	}
+	var arm func(at time.Duration)
+	arm = func(at time.Duration) {
+		n.Schedule(at, func() {
+			if fn() {
+				arm(at + interval)
+			}
+		})
+	}
+	arm(n.now + interval)
+}
+
+// settle reaps flows that are already drained (for example zero-byte
+// flows) and brings the allocation up to date.
+func (n *Network) settle() {
+	if n.dirty {
+		n.allocate()
+	}
+	n.reapFinished()
+	if n.dirty {
+		n.allocate()
+	}
+}
+
+// Run advances the simulation to the given absolute time, delivering bytes
+// and firing timers in order.
+func (n *Network) Run(until time.Duration) {
+	for n.now < until {
+		n.settle()
+		next := n.nextFlowEvent(until)
+		// Earliest timer.
+		if len(n.timers) > 0 && n.timers[0].at < next {
+			next = n.timers[0].at
+		}
+		if next < n.now {
+			next = n.now
+		}
+
+		n.advanceTo(next)
+
+		// Fire due timers (they may mutate flows).
+		for len(n.timers) > 0 && n.timers[0].at <= n.now {
+			t := heap.Pop(&n.timers).(*timer)
+			t.fn()
+		}
+		n.reapFinished()
+	}
+}
+
+// RunUntilIdle advances until no active flows remain (ignoring backlogged
+// flows would never finish, so they count as activity) or maxTime is
+// reached. It returns the time the network went idle.
+func (n *Network) RunUntilIdle(maxTime time.Duration) time.Duration {
+	for n.now < maxTime {
+		n.settle()
+		finite := false
+		for _, f := range n.active {
+			if f.remaining >= 0 {
+				finite = true
+				break
+			}
+		}
+		if !finite && len(n.timers) == 0 {
+			break
+		}
+		next := n.nextFlowEvent(maxTime)
+		if len(n.timers) > 0 && n.timers[0].at < next {
+			next = n.timers[0].at
+		}
+		if next <= n.now && next != maxTime {
+			if n.hasDrainedFlow() {
+				continue // let settle reap it
+			}
+			// Nothing can progress (e.g. only zero-rate flows): bail out.
+			break
+		}
+		n.advanceTo(next)
+		for len(n.timers) > 0 && n.timers[0].at <= n.now {
+			t := heap.Pop(&n.timers).(*timer)
+			t.fn()
+		}
+		n.reapFinished()
+	}
+	return n.now
+}
+
+// nextFlowEvent returns the earliest finite-flow completion time, capped.
+// Flows whose remaining time truncates to zero are finished on the spot
+// so the event loops cannot spin on them.
+func (n *Network) nextFlowEvent(cap time.Duration) time.Duration {
+	next := cap
+	for _, f := range n.active {
+		if f.remaining < 0 || f.Rate <= 0 {
+			continue
+		}
+		dt := units.Seconds(f.remaining * 8 / float64(f.Rate))
+		if dt <= 0 {
+			f.remaining = 0
+			next = n.now
+			continue
+		}
+		if t := n.now + dt; t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+const finishEpsilonBytes = 1e-6
+
+func (n *Network) advanceTo(t time.Duration) {
+	dt := (t - n.now).Seconds()
+	if dt < 0 {
+		return
+	}
+	if dt > 0 {
+		for _, f := range n.active {
+			if f.remaining < 0 || f.Rate <= 0 {
+				continue
+			}
+			f.remaining -= float64(f.Rate) / 8 * dt
+			if f.remaining < finishEpsilonBytes {
+				f.remaining = 0
+			}
+		}
+	}
+	n.now = t
+}
+
+func (n *Network) reapFinished() {
+	var finished []*Flow
+	kept := n.active[:0]
+	for _, f := range n.active {
+		if f.remaining == 0 {
+			f.done = true
+			f.finished = n.now
+			finished = append(finished, f)
+			n.dirty = true
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	n.active = kept
+	// Deterministic callback order.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+	for _, f := range finished {
+		if f.onFinish != nil {
+			f.onFinish(f)
+		}
+	}
+}
+
+// PathAvailability describes what a new flow from src to dst would
+// experience right now, decomposed the way internal/packetsim needs it.
+type PathAvailability struct {
+	// Share is the max-min rate a new backlogged TCP flow would get,
+	// including the source VM's hose limit — the "ground truth" a 10 s
+	// netperf transfer converges to.
+	Share units.Rate
+	// PhysicalShare is the share the fabric alone would allow, ignoring
+	// the source hose. Short probe bursts that fit in the hose's token
+	// bucket are served at up to this rate.
+	PhysicalShare units.Rate
+	// LineRate is the smallest raw link capacity along the path — the
+	// drain rate of the bottleneck queue.
+	LineRate units.Rate
+}
+
+// Availability computes the three-way decomposition above without
+// disturbing existing flows.
+func (n *Network) Availability(src, dst topology.VMID) (PathAvailability, error) {
+	path, err := n.prov.Path(src, dst)
+	if err != nil {
+		return PathAvailability{}, err
+	}
+	full, err := n.AvailableRate(src, dst)
+	if err != nil {
+		return PathAvailability{}, err
+	}
+	av := PathAvailability{Share: full}
+
+	if path.SameHost {
+		av.PhysicalShare = full
+		av.LineRate = n.prov.Profile.MemBusRate
+		return av, nil
+	}
+
+	// Raw line rate: the smallest capacity along the physical links.
+	line := math.Inf(1)
+	for _, l := range path.Links {
+		if c := float64(n.prov.Topo.Links[l].Capacity); c < line {
+			line = c
+		}
+	}
+	av.LineRate = units.Rate(line)
+
+	// Physical-only share: allocate with a probe flow whose constraint set
+	// omits the source hose.
+	f, err := n.StartFlow(src, dst, Backlogged, "probe-phys", nil)
+	if err != nil {
+		return PathAvailability{}, err
+	}
+	f.keys = f.keys[1:] // drop the hose constraint (always first)
+	n.dirty = true
+	n.allocate()
+	av.PhysicalShare = f.Rate
+	n.StopFlow(f.ID)
+	n.allocate()
+	return av, nil
+}
+
+// RunUntil advances the simulation until pred() reports true or maxTime
+// is reached, evaluating pred after every event. It returns the time at
+// which it stopped.
+func (n *Network) RunUntil(pred func() bool, maxTime time.Duration) time.Duration {
+	for n.now < maxTime {
+		n.settle()
+		if pred() {
+			return n.now
+		}
+		next := n.nextFlowEvent(maxTime)
+		if len(n.timers) > 0 && n.timers[0].at < next {
+			next = n.timers[0].at
+		}
+		if next < n.now {
+			next = n.now
+		}
+		n.advanceTo(next)
+		fired := false
+		for len(n.timers) > 0 && n.timers[0].at <= n.now {
+			t := heap.Pop(&n.timers).(*timer)
+			t.fn()
+			fired = true
+		}
+		n.reapFinished()
+		if !fired && next == maxTime && !n.hasDrainedFlow() {
+			// Nothing left before maxTime.
+			n.now = maxTime
+			break
+		}
+	}
+	n.settle()
+	return n.now
+}
+
+// hasDrainedFlow reports whether an active flow has fully drained and
+// awaits reaping.
+func (n *Network) hasDrainedFlow() bool {
+	for _, f := range n.active {
+		if f.remaining == 0 {
+			return true
+		}
+	}
+	return false
+}

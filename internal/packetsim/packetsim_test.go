@@ -1,0 +1,316 @@
+package packetsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"choreo/internal/netsim"
+	"choreo/internal/probe"
+	"choreo/internal/stats"
+	"choreo/internal/topology"
+	"choreo/internal/units"
+)
+
+// ec2State is a clean EC2-2013-like path: 950 Mbit/s hose with a small
+// bucket on a 10 Gbit/s uncongested fabric.
+func ec2State(noise bool) PathState {
+	s := PathState{
+		SustainedShare: units.Mbps(950),
+		PhysicalShare:  units.Gbps(9.5),
+		LineRate:       units.Gbps(10),
+		HoseRate:       units.Mbps(950),
+		HoseBurst:      8 * units.Kilobyte,
+		RTT:            300 * time.Microsecond,
+		QueueCapacity:  192 * units.Kilobyte,
+	}
+	if noise {
+		s.EpochNoiseStd = 0.085
+		s.BurstJitter = 60 * time.Microsecond
+	}
+	return s
+}
+
+// rackspaceState is a clean Rackspace-like path: 300 Mbit/s hose with a
+// 200 KB bucket.
+func rackspaceState(noise bool) PathState {
+	s := PathState{
+		SustainedShare: units.Mbps(300),
+		PhysicalShare:  units.Gbps(9.5),
+		LineRate:       units.Gbps(10),
+		HoseRate:       units.Mbps(300),
+		HoseBurst:      200 * units.Kilobyte,
+		RTT:            400 * time.Microsecond,
+		QueueCapacity:  256 * units.Kilobyte,
+	}
+	if noise {
+		s.EpochNoiseStd = 0.028
+		s.BurstJitter = 40 * time.Microsecond
+	}
+	return s
+}
+
+func trainError(t *testing.T, state PathState, cfg probe.Config, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	obs := SimulateTrain(state, cfg, rng)
+	est, err := obs.EstimateThroughput()
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	return stats.RelativeError(float64(est), float64(state.SustainedShare))
+}
+
+func TestEC2ShortBurstsAccurate(t *testing.T) {
+	cfg := probe.DefaultEC2() // 10 x 200
+	if got := trainError(t, ec2State(false), cfg, 1); got > 0.08 {
+		t.Errorf("noiseless EC2 train error = %.3f, want <= 0.08", got)
+	}
+}
+
+func TestEC2LongBurstsEvenBetter(t *testing.T) {
+	short := trainError(t, ec2State(false), probe.DefaultEC2(), 1)
+	long := trainError(t, ec2State(false), probe.DefaultRackspace(), 1)
+	if long >= short {
+		t.Errorf("longer bursts should reduce the shaping bias: short=%.4f long=%.4f", short, long)
+	}
+	if long > 0.01 {
+		t.Errorf("noiseless 2000-packet EC2 train error = %.4f, want <= 0.01", long)
+	}
+}
+
+func TestRackspaceShortBurstsOverestimate(t *testing.T) {
+	// The generous token bucket hides the 300 Mbit/s hose from short
+	// bursts (Figure 6(b)).
+	cfg := probe.DefaultEC2() // 10 x 200
+	rng := rand.New(rand.NewSource(2))
+	obs := SimulateTrain(rackspaceState(false), cfg, rng)
+	est, err := obs.EstimateThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mbps() < 330 {
+		t.Errorf("short-burst Rackspace estimate = %v, expected a >10%% overestimate", est)
+	}
+}
+
+func TestRackspaceLongBurstsAccurate(t *testing.T) {
+	if got := trainError(t, rackspaceState(false), probe.DefaultRackspace(), 3); got > 0.05 {
+		t.Errorf("2000-packet Rackspace train error = %.3f, want <= 0.05", got)
+	}
+}
+
+func TestRackspaceErrorCollapsesWithBurstLength(t *testing.T) {
+	// Reproduce the Figure 6(b) shape on clean states.
+	var prev float64 = math.Inf(1)
+	for _, b := range []int{200, 1000, 2000, 4000} {
+		cfg := probe.Config{PacketSize: 1472, Bursts: 10, BurstLength: b, Gap: time.Millisecond, MSS: 1460}
+		got := trainError(t, rackspaceState(false), cfg, 4)
+		if got > prev*1.2 {
+			t.Errorf("error grew with burst length at B=%d: %.3f -> %.3f", b, prev, got)
+		}
+		prev = got
+	}
+	if prev > 0.03 {
+		t.Errorf("B=4000 error = %.3f, want <= 0.03", prev)
+	}
+}
+
+func TestCongestedPathLosesTailPackets(t *testing.T) {
+	// Physical share far below the hose: bursts overrun the queue.
+	state := PathState{
+		SustainedShare: units.Mbps(300),
+		PhysicalShare:  units.Mbps(300),
+		LineRate:       units.Gbps(10),
+		HoseRate:       units.Mbps(950),
+		HoseBurst:      8 * units.Kilobyte,
+		RTT:            500 * time.Microsecond,
+		QueueCapacity:  64 * units.Kilobyte,
+	}
+	rng := rand.New(rand.NewSource(5))
+	cfg := probe.DefaultEC2()
+	obs := SimulateTrain(state, cfg, rng)
+	lost := 0
+	for _, b := range obs.Bursts {
+		lost += b.Sent - b.Received
+		if b.Received+b.HeadLost+b.TailLost > b.Sent {
+			t.Errorf("burst accounting broken: %+v", b)
+		}
+	}
+	if lost == 0 {
+		t.Fatal("expected losses on a congested path")
+	}
+	if l := obs.LossRate(); l <= 0 || l >= 1 {
+		t.Errorf("loss rate = %v", l)
+	}
+	// The dispersion estimate must still land near the service rate.
+	disp, err := obs.DispersionEstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.RelativeError(float64(disp), 300e6); e > 0.12 {
+		t.Errorf("dispersion error on lossy path = %.3f", e)
+	}
+	// With losses present, the Mathis bound becomes finite.
+	if mathis := obs.MathisEstimate(); math.IsInf(float64(mathis), 1) {
+		t.Error("Mathis bound should be finite when packets were lost")
+	}
+}
+
+func TestSameHostBurst(t *testing.T) {
+	state := PathState{
+		SustainedShare: units.Gbps(4),
+		PhysicalShare:  units.Gbps(4),
+		LineRate:       units.Gbps(4),
+		HoseRate:       units.Mbps(950),
+		HoseBurst:      8 * units.Kilobyte,
+		RTT:            40 * time.Microsecond,
+		QueueCapacity:  256 * units.Kilobyte,
+		SameHost:       true,
+	}
+	rng := rand.New(rand.NewSource(6))
+	obs := SimulateTrain(state, probe.DefaultEC2(), rng)
+	est, err := obs.EstimateThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.RelativeError(float64(est), 4e9); e > 0.02 {
+		t.Errorf("same-host estimate error = %.3f (est %v)", e, est)
+	}
+}
+
+func TestEpochNoiseDominatesEC2Error(t *testing.T) {
+	// With calibrated noise the mean error over many trains should land
+	// in the high single digits (the paper reports 9% for 10x200 on EC2).
+	cfg := probe.DefaultEC2()
+	var errs []float64
+	for seed := int64(0); seed < 200; seed++ {
+		errs = append(errs, trainError(t, ec2State(true), cfg, seed))
+	}
+	mean := stats.Mean(errs)
+	if mean < 0.04 || mean > 0.15 {
+		t.Errorf("mean noisy EC2 train error = %.3f, want ~0.09", mean)
+	}
+}
+
+func TestMediumMeasureMesh(t *testing.T) {
+	prov, err := topology.NewProvider(topology.EC22013(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms, err := prov.AllocateVMs(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(prov)
+	m := NewMedium(net, rand.New(rand.NewSource(7)))
+	rates, elapsed, err := m.MeasureMesh(vms, probe.DefaultEC2(), 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 90 {
+		t.Fatalf("mesh measured %d pairs, want 90", len(rates))
+	}
+	// The paper: "To measure a network of ten VMs takes less than three
+	// minutes ... including overhead".
+	if elapsed > 3*time.Minute {
+		t.Errorf("mesh measurement took %v, want < 3m", elapsed)
+	}
+	for pair, rate := range rates {
+		if rate <= 0 {
+			t.Errorf("pair %v has rate %v", pair, rate)
+		}
+	}
+}
+
+func TestMeshEstimatesTrackAvailability(t *testing.T) {
+	prov, err := topology.NewProvider(topology.EC22013(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms, err := prov.AllocateVMs(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(prov)
+	m := NewMedium(net, rand.New(rand.NewSource(9)))
+	var errs []float64
+	for _, a := range vms {
+		for _, b := range vms {
+			if a.ID == b.ID {
+				continue
+			}
+			obs, err := m.RunTrain(a.ID, b.ID, probe.DefaultRackspace())
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := obs.EstimateThroughput()
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := net.AvailableRate(a.ID, b.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs = append(errs, stats.RelativeError(float64(est), float64(truth)))
+		}
+	}
+	if mean := stats.Mean(errs); mean > 0.15 {
+		t.Errorf("mean mesh estimate error = %.3f, want < 0.15", mean)
+	}
+}
+
+func TestStateOfSameHost(t *testing.T) {
+	prof := topology.EC22013()
+	prof.SameHostProb = 1
+	prov, err := topology.NewProvider(prof, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms, err := prov.AllocateVMs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vms[0].Host != vms[1].Host {
+		t.Skip("seed did not colocate")
+	}
+	net := netsim.New(prov)
+	m := NewMedium(net, rand.New(rand.NewSource(1)))
+	state, err := m.StateOf(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !state.SameHost {
+		t.Error("state should be same-host")
+	}
+	if state.LineRate != prof.MemBusRate {
+		t.Errorf("line rate = %v, want mem bus %v", state.LineRate, prof.MemBusRate)
+	}
+}
+
+func TestRunTrainValidatesConfig(t *testing.T) {
+	prov, err := topology.NewProvider(topology.EC22013(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prov.AllocateVMs(2); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMedium(netsim.New(prov), rand.New(rand.NewSource(1)))
+	bad := probe.Config{}
+	if _, err := m.RunTrain(0, 1, bad); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func TestTrainIsSubSecond(t *testing.T) {
+	// "an individual train takes less than one second to send" (§4.1).
+	for _, cfg := range []probe.Config{probe.DefaultEC2(), probe.DefaultRackspace()} {
+		rng := rand.New(rand.NewSource(8))
+		obs := SimulateTrain(rackspaceState(true), cfg, rng)
+		if d := obs.Duration(); d > time.Second {
+			t.Errorf("train %dx%d took %v, want < 1s", cfg.Bursts, cfg.BurstLength, d)
+		}
+	}
+}

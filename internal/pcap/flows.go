@@ -1,0 +1,107 @@
+package pcap
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+
+	"choreo/internal/profile"
+	"choreo/internal/units"
+)
+
+// FlowKey identifies a directed transport flow. It is comparable, so it
+// can key maps directly.
+type FlowKey struct {
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// String renders "1.2.3.4:80 -> 5.6.7.8:1234/tcp".
+func (k FlowKey) String() string {
+	proto := "udp"
+	if k.Proto == ProtoTCP {
+		proto = "tcp"
+	}
+	return fmt.Sprintf("%s:%d -> %s:%d/%s", k.Src, k.SrcPort, k.Dst, k.DstPort, proto)
+}
+
+// FlowAccumulator sums wire bytes per directed flow from decoded packets.
+type FlowAccumulator struct {
+	parser  Parser
+	decoded []LayerType
+	// Bytes holds on-the-wire byte counts per flow.
+	Bytes map[FlowKey]units.ByteSize
+	// Packets counts packets per flow.
+	Packets map[FlowKey]int64
+	// Skipped counts packets that were not Ethernet/IPv4/{TCP,UDP}.
+	Skipped int64
+}
+
+// NewFlowAccumulator creates an empty accumulator.
+func NewFlowAccumulator() *FlowAccumulator {
+	return &FlowAccumulator{
+		Bytes:   make(map[FlowKey]units.ByteSize),
+		Packets: make(map[FlowKey]int64),
+	}
+}
+
+// AddPacket decodes one packet and accounts its original wire length.
+func (a *FlowAccumulator) AddPacket(hdr PacketHeader, data []byte) {
+	if err := a.parser.Decode(data, &a.decoded); err != nil || len(a.decoded) < 3 {
+		a.Skipped++
+		return
+	}
+	key := FlowKey{Src: a.parser.IP.Src, Dst: a.parser.IP.Dst}
+	switch a.decoded[2] {
+	case LayerTCP:
+		key.Proto = ProtoTCP
+		key.SrcPort = a.parser.TCP.SrcPort
+		key.DstPort = a.parser.TCP.DstPort
+	case LayerUDP:
+		key.Proto = ProtoUDP
+		key.SrcPort = a.parser.UDP.SrcPort
+		key.DstPort = a.parser.UDP.DstPort
+	default:
+		a.Skipped++
+		return
+	}
+	a.Bytes[key] += units.ByteSize(hdr.OrigLen)
+	a.Packets[key]++
+}
+
+// ReadAll drains a pcap Reader into the accumulator.
+func (a *FlowAccumulator) ReadAll(r *Reader) error {
+	for {
+		hdr, data, err := r.ReadPacket()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		a.AddPacket(hdr, data)
+	}
+}
+
+// TaskMapper resolves packet addresses to application task indices.
+// Unknown addresses return -1.
+type TaskMapper func(addr netip.Addr) int
+
+// TrafficMatrix folds accumulated flows into an n-task traffic matrix
+// using the mapper, ignoring flows whose endpoints are unknown or map to
+// the same task. This is the tcpdump-based profiling path of §2.1.
+func (a *FlowAccumulator) TrafficMatrix(n int, mapper TaskMapper) (*profile.TrafficMatrix, error) {
+	m := profile.NewTrafficMatrix(n)
+	for key, bytes := range a.Bytes {
+		from := mapper(key.Src)
+		to := mapper(key.Dst)
+		if from < 0 || to < 0 || from == to {
+			continue
+		}
+		if err := m.Add(from, to, bytes); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,115 @@
+package pcap
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"choreo/internal/units"
+)
+
+func buildCapture(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	ts := time.Unix(1700000000, 0)
+	// Two packets A->B on one TCP flow, one packet B->A, one UDP packet.
+	p1, _ := BuildTCPPacket(ipA, ipB, 5000, 80, 0, bytes.Repeat([]byte{1}, 100))
+	p2, _ := BuildTCPPacket(ipA, ipB, 5000, 80, 100, bytes.Repeat([]byte{1}, 200))
+	p3, _ := BuildTCPPacket(ipB, ipA, 80, 5000, 0, bytes.Repeat([]byte{1}, 50))
+	p4, _ := BuildUDPPacket(ipA, ipB, 9999, 53, []byte("q"))
+	for i, p := range [][]byte{p1, p2, p3, p4} {
+		if err := w.WritePacket(ts.Add(time.Duration(i)*time.Millisecond), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &buf
+}
+
+func TestFlowAccumulator(t *testing.T) {
+	buf := buildCapture(t)
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewFlowAccumulator()
+	if err := acc.ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(acc.Bytes) != 3 {
+		t.Fatalf("expected 3 flows, got %d: %v", len(acc.Bytes), acc.Bytes)
+	}
+	tcpAB := FlowKey{Src: ipA, Dst: ipB, SrcPort: 5000, DstPort: 80, Proto: ProtoTCP}
+	if acc.Packets[tcpAB] != 2 {
+		t.Errorf("A->B tcp packets = %d, want 2", acc.Packets[tcpAB])
+	}
+	// 100 + 200 payload bytes plus 2 x 54 bytes of headers.
+	if got := acc.Bytes[tcpAB]; got != units.ByteSize(100+200+2*54) {
+		t.Errorf("A->B tcp bytes = %d", got)
+	}
+	if acc.Skipped != 0 {
+		t.Errorf("skipped = %d", acc.Skipped)
+	}
+}
+
+func TestFlowKeyString(t *testing.T) {
+	k := FlowKey{Src: ipA, Dst: ipB, SrcPort: 1, DstPort: 2, Proto: ProtoTCP}
+	if got := k.String(); got != "10.0.0.1:1 -> 10.0.0.2:2/tcp" {
+		t.Errorf("String = %q", got)
+	}
+	k.Proto = ProtoUDP
+	if got := k.String(); got != "10.0.0.1:1 -> 10.0.0.2:2/udp" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTrafficMatrixFromCapture(t *testing.T) {
+	buf := buildCapture(t)
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewFlowAccumulator()
+	if err := acc.ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	mapper := func(addr netip.Addr) int {
+		switch addr {
+		case ipA:
+			return 0
+		case ipB:
+			return 1
+		}
+		return -1
+	}
+	tm, err := acc.TrafficMatrix(2, mapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A->B: tcp 408 bytes + udp (1 payload + 42 header) = 451.
+	if got := tm.At(0, 1); got != 451 {
+		t.Errorf("tm(0,1) = %d, want 451", got)
+	}
+	if got := tm.At(1, 0); got != 104 {
+		t.Errorf("tm(1,0) = %d, want 104", got)
+	}
+	// Unknown addresses are dropped silently.
+	tm2, err := acc.TrafficMatrix(1, func(netip.Addr) int { return -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm2.Total() != 0 {
+		t.Errorf("unknown-mapper matrix total = %d", tm2.Total())
+	}
+}
+
+func TestAccumulatorSkipsNonIP(t *testing.T) {
+	acc := NewFlowAccumulator()
+	frame := make([]byte, 20)
+	frame[12], frame[13] = 0x86, 0xdd // IPv6
+	acc.AddPacket(PacketHeader{OrigLen: 20}, frame)
+	if acc.Skipped != 1 || len(acc.Bytes) != 0 {
+		t.Errorf("non-IP packet not skipped: %+v", acc)
+	}
+}

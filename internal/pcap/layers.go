@@ -1,0 +1,251 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// EtherType values this package decodes.
+const (
+	EtherTypeIPv4 = 0x0800
+)
+
+// IP protocol numbers this package decodes.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	Src, Dst  [6]byte
+	EtherType uint16
+	payload   []byte
+}
+
+// DecodeFromBytes fills the header from data in place.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < 14 {
+		return fmt.Errorf("pcap: ethernet header needs 14 bytes, have %d", len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.payload = data[14:]
+	return nil
+}
+
+// Payload returns the bytes after the header.
+func (e *Ethernet) Payload() []byte { return e.payload }
+
+// IPv4 is a decoded IPv4 header.
+type IPv4 struct {
+	IHL      uint8
+	TotalLen uint16
+	Protocol uint8
+	Src, Dst netip.Addr
+	payload  []byte
+}
+
+// DecodeFromBytes fills the header from data in place.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return fmt.Errorf("pcap: ipv4 header needs 20 bytes, have %d", len(data))
+	}
+	if version := data[0] >> 4; version != 4 {
+		return fmt.Errorf("pcap: ip version %d, want 4", version)
+	}
+	ip.IHL = data[0] & 0x0f
+	hdrLen := int(ip.IHL) * 4
+	if hdrLen < 20 || len(data) < hdrLen {
+		return fmt.Errorf("pcap: ipv4 header length %d invalid for %d bytes", hdrLen, len(data))
+	}
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	ip.Protocol = data[9]
+	var src, dst [4]byte
+	copy(src[:], data[12:16])
+	copy(dst[:], data[16:20])
+	ip.Src = netip.AddrFrom4(src)
+	ip.Dst = netip.AddrFrom4(dst)
+	end := int(ip.TotalLen)
+	if end > len(data) || end < hdrLen {
+		end = len(data)
+	}
+	ip.payload = data[hdrLen:end]
+	return nil
+}
+
+// Payload returns the transport segment.
+func (ip *IPv4) Payload() []byte { return ip.payload }
+
+// TCP is a decoded TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq              uint32
+	DataOffset       uint8
+	payload          []byte
+}
+
+// DecodeFromBytes fills the header from data in place.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return fmt.Errorf("pcap: tcp header needs 20 bytes, have %d", len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.DataOffset = data[12] >> 4
+	hdrLen := int(t.DataOffset) * 4
+	if hdrLen < 20 || len(data) < hdrLen {
+		return fmt.Errorf("pcap: tcp header length %d invalid for %d bytes", hdrLen, len(data))
+	}
+	t.payload = data[hdrLen:]
+	return nil
+}
+
+// Payload returns the TCP payload.
+func (t *TCP) Payload() []byte { return t.payload }
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	payload          []byte
+}
+
+// DecodeFromBytes fills the header from data in place.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("pcap: udp header needs 8 bytes, have %d", len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.payload = data[8:]
+	return nil
+}
+
+// Payload returns the UDP payload.
+func (u *UDP) Payload() []byte { return u.payload }
+
+// LayerType identifies which layers a Parser decoded.
+type LayerType uint8
+
+// Layer types reported by Parser.Decode.
+const (
+	LayerEthernet LayerType = iota
+	LayerIPv4
+	LayerTCP
+	LayerUDP
+)
+
+// Parser decodes an Ethernet/IPv4/{TCP,UDP} stack into preallocated
+// layers without per-packet allocation.
+type Parser struct {
+	Eth Ethernet
+	IP  IPv4
+	TCP TCP
+	UDP UDP
+}
+
+// Decode parses as many known layers as the packet contains, appending
+// their types to decoded (which is reset first). Unknown ether types or IP
+// protocols stop the walk without error; malformed known layers return an
+// error alongside the layers decoded so far.
+func (p *Parser) Decode(data []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	if err := p.Eth.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	*decoded = append(*decoded, LayerEthernet)
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		return nil
+	}
+	if err := p.IP.DecodeFromBytes(p.Eth.Payload()); err != nil {
+		return err
+	}
+	*decoded = append(*decoded, LayerIPv4)
+	switch p.IP.Protocol {
+	case ProtoTCP:
+		if err := p.TCP.DecodeFromBytes(p.IP.Payload()); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, LayerTCP)
+	case ProtoUDP:
+		if err := p.UDP.DecodeFromBytes(p.IP.Payload()); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, LayerUDP)
+	}
+	return nil
+}
+
+// BuildTCPPacket serializes a minimal Ethernet+IPv4+TCP packet carrying
+// the payload. Used to synthesize captures in tests and trace generators.
+func BuildTCPPacket(src, dst netip.Addr, srcPort, dstPort uint16, seq uint32, payload []byte) ([]byte, error) {
+	return buildIPPacket(src, dst, ProtoTCP, func(b []byte) []byte {
+		var tcp [20]byte
+		binary.BigEndian.PutUint16(tcp[0:], srcPort)
+		binary.BigEndian.PutUint16(tcp[2:], dstPort)
+		binary.BigEndian.PutUint32(tcp[4:], seq)
+		tcp[12] = 5 << 4 // data offset: 5 words
+		b = append(b, tcp[:]...)
+		return append(b, payload...)
+	})
+}
+
+// BuildUDPPacket serializes a minimal Ethernet+IPv4+UDP packet.
+func BuildUDPPacket(src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) ([]byte, error) {
+	return buildIPPacket(src, dst, ProtoUDP, func(b []byte) []byte {
+		var udp [8]byte
+		binary.BigEndian.PutUint16(udp[0:], srcPort)
+		binary.BigEndian.PutUint16(udp[2:], dstPort)
+		binary.BigEndian.PutUint16(udp[4:], uint16(8+len(payload)))
+		b = append(b, udp[:]...)
+		return append(b, payload...)
+	})
+}
+
+func buildIPPacket(src, dst netip.Addr, proto uint8, addL4 func([]byte) []byte) ([]byte, error) {
+	if !src.Is4() || !dst.Is4() {
+		return nil, fmt.Errorf("pcap: only IPv4 addresses are supported")
+	}
+	pkt := make([]byte, 0, 64)
+	// Ethernet header with locally administered MACs derived from the IPs.
+	s4, d4 := src.As4(), dst.As4()
+	pkt = append(pkt, 0x02, d4[0], d4[1], d4[2], d4[3], 0x01) // dst MAC
+	pkt = append(pkt, 0x02, s4[0], s4[1], s4[2], s4[3], 0x01) // src MAC
+	pkt = append(pkt, 0x08, 0x00)                             // IPv4
+
+	ipStart := len(pkt)
+	var ip [20]byte
+	ip[0] = 4<<4 | 5 // version 4, IHL 5
+	ip[8] = 64       // TTL
+	ip[9] = proto
+	copy(ip[12:16], s4[:])
+	copy(ip[16:20], d4[:])
+	pkt = append(pkt, ip[:]...)
+
+	pkt = addL4(pkt)
+
+	totalLen := len(pkt) - ipStart
+	binary.BigEndian.PutUint16(pkt[ipStart+2:], uint16(totalLen))
+	// Header checksum over the 20-byte IP header.
+	binary.BigEndian.PutUint16(pkt[ipStart+10:], ipChecksum(pkt[ipStart:ipStart+20]))
+	return pkt, nil
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,154 @@
+// Package pcap implements the subset of packet capture tooling Choreo's
+// profiler needs (paper §2.1 suggests tcpdump as one source of
+// application communication patterns): reading and writing classic
+// libpcap files and decoding Ethernet/IPv4/TCP/UDP headers.
+//
+// Decoding follows the preallocated decoding-layer style: callers own the
+// layer structs, DecodeFromBytes fills them in place without allocating,
+// and a Parser walks the stack storing which layers were present. Header
+// fields reference the input buffer only by value (no aliasing), so
+// buffers may be reused across packets.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Classic pcap magic numbers (microsecond timestamps).
+const (
+	MagicLittleEndian = 0xa1b2c3d4 // written by this package
+	MagicBigEndian    = 0xd4c3b2a1
+)
+
+// LinkTypeEthernet is the only link type this package handles.
+const LinkTypeEthernet = 1
+
+// PacketHeader is the per-record pcap header.
+type PacketHeader struct {
+	Timestamp time.Time
+	CapLen    uint32 // bytes stored in the file
+	OrigLen   uint32 // bytes on the wire
+}
+
+// Writer emits a classic pcap file.
+type Writer struct {
+	w       io.Writer
+	snaplen uint32
+	wrote   bool
+}
+
+// NewWriter creates a Writer with the given snap length (0 means 65535).
+func NewWriter(w io.Writer, snaplen uint32) *Writer {
+	if snaplen == 0 {
+		snaplen = 65535
+	}
+	return &Writer{w: w, snaplen: snaplen}
+}
+
+func (w *Writer) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], MagicLittleEndian)
+	binary.LittleEndian.PutUint16(hdr[4:], 2)  // version major
+	binary.LittleEndian.PutUint16(hdr[6:], 4)  // version minor
+	binary.LittleEndian.PutUint32(hdr[8:], 0)  // thiszone
+	binary.LittleEndian.PutUint32(hdr[12:], 0) // sigfigs
+	binary.LittleEndian.PutUint32(hdr[16:], w.snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one packet record.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	if !w.wrote {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	capLen := uint32(len(data))
+	if capLen > w.snaplen {
+		capLen = w.snaplen
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(hdr[8:], capLen)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data[:capLen])
+	return err
+}
+
+// Reader consumes a classic pcap file.
+type Reader struct {
+	r         io.Reader
+	byteOrder binary.ByteOrder
+	snaplen   uint32
+	linkType  uint32
+	buf       []byte
+}
+
+// NewReader validates the global header and prepares for ReadPacket.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: short global header: %w", err)
+	}
+	rd := &Reader{r: r}
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case MagicLittleEndian:
+		rd.byteOrder = binary.LittleEndian
+	case MagicBigEndian:
+		rd.byteOrder = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	rd.snaplen = rd.byteOrder.Uint32(hdr[16:])
+	rd.linkType = rd.byteOrder.Uint32(hdr[20:])
+	if rd.linkType != LinkTypeEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", rd.linkType)
+	}
+	return rd, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// ReadPacket returns the next record. The returned data slice is reused on
+// the next call (NoCopy semantics); callers needing to retain it must copy.
+// io.EOF marks a clean end of file.
+func (r *Reader) ReadPacket() (PacketHeader, []byte, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return PacketHeader{}, nil, io.EOF
+		}
+		return PacketHeader{}, nil, fmt.Errorf("pcap: short record header: %w", err)
+	}
+	sec := r.byteOrder.Uint32(hdr[0:])
+	usec := r.byteOrder.Uint32(hdr[4:])
+	capLen := r.byteOrder.Uint32(hdr[8:])
+	origLen := r.byteOrder.Uint32(hdr[12:])
+	if capLen > r.snaplen+65535 {
+		return PacketHeader{}, nil, fmt.Errorf("pcap: implausible capture length %d", capLen)
+	}
+	if uint32(cap(r.buf)) < capLen {
+		r.buf = make([]byte, capLen)
+	}
+	data := r.buf[:capLen]
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return PacketHeader{}, nil, fmt.Errorf("pcap: truncated packet: %w", err)
+	}
+	ph := PacketHeader{
+		Timestamp: time.Unix(int64(sec), int64(usec)*1000),
+		CapLen:    capLen,
+		OrigLen:   origLen,
+	}
+	return ph, data, nil
+}

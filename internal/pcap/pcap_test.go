@@ -1,0 +1,247 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var (
+	ipA = netip.MustParseAddr("10.0.0.1")
+	ipB = netip.MustParseAddr("10.0.0.2")
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	pkt1, err := BuildTCPPacket(ipA, ipB, 5000, 80, 42, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt2, err := BuildUDPPacket(ipB, ipA, 53, 5353, []byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1700000000, 123000)
+	if err := w.WritePacket(t0, pkt1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(t0.Add(time.Second), pkt2); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("link type = %d", r.LinkType())
+	}
+	hdr, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hdr.Timestamp.Equal(t0) {
+		t.Errorf("timestamp = %v, want %v", hdr.Timestamp, t0)
+	}
+	if int(hdr.OrigLen) != len(pkt1) || !bytes.Equal(data, pkt1) {
+		t.Error("first packet mismatch")
+	}
+	_, data, err = r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, pkt2) {
+		t.Error("second packet mismatch")
+	}
+	if _, _, err := r.ReadPacket(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	bad := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("zero magic should fail")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("short header should fail")
+	}
+}
+
+func TestReaderBigEndian(t *testing.T) {
+	// Hand-build a big-endian capture with one tiny record.
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:], MagicLittleEndian) // BE bytes of LE magic == reader sees MagicBigEndian pattern
+	binary.BigEndian.PutUint16(hdr[4:], 2)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[16:], 65535)
+	binary.BigEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:], 1)
+	binary.BigEndian.PutUint32(rec[4:], 2)
+	binary.BigEndian.PutUint32(rec[8:], 3)  // caplen
+	binary.BigEndian.PutUint32(rec[12:], 3) // origlen
+	buf.Write(rec[:])
+	buf.Write([]byte{0xaa, 0xbb, 0xcc})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.CapLen != 3 || len(data) != 3 || data[0] != 0xaa {
+		t.Errorf("big-endian record misread: %+v % x", ph, data)
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	pkt, _ := BuildTCPPacket(ipA, ipB, 1, 2, 0, nil)
+	if err := w.WritePacket(time.Now(), pkt); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadPacket(); err == nil || err == io.EOF {
+		t.Errorf("truncated packet should be a hard error, got %v", err)
+	}
+}
+
+func TestSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 40)
+	pkt, _ := BuildTCPPacket(ipA, ipB, 1, 2, 0, bytes.Repeat([]byte{7}, 100))
+	if err := w.WritePacket(time.Now(), pkt); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.CapLen != 40 || len(data) != 40 {
+		t.Errorf("caplen = %d", hdr.CapLen)
+	}
+	if int(hdr.OrigLen) != len(pkt) {
+		t.Errorf("origlen = %d, want %d", hdr.OrigLen, len(pkt))
+	}
+}
+
+func TestParserDecodesTCP(t *testing.T) {
+	pkt, err := BuildTCPPacket(ipA, ipB, 5000, 80, 7, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Parser
+	var decoded []LayerType
+	if err := p.Decode(pkt, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	want := []LayerType{LayerEthernet, LayerIPv4, LayerTCP}
+	if len(decoded) != 3 || decoded[0] != want[0] || decoded[1] != want[1] || decoded[2] != want[2] {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if p.IP.Src != ipA || p.IP.Dst != ipB || p.IP.Protocol != ProtoTCP {
+		t.Errorf("ip header wrong: %+v", p.IP)
+	}
+	if p.TCP.SrcPort != 5000 || p.TCP.DstPort != 80 || p.TCP.Seq != 7 {
+		t.Errorf("tcp header wrong: %+v", p.TCP)
+	}
+	if string(p.TCP.Payload()) != "payload" {
+		t.Errorf("payload = %q", p.TCP.Payload())
+	}
+}
+
+func TestParserDecodesUDP(t *testing.T) {
+	pkt, err := BuildUDPPacket(ipA, ipB, 111, 222, []byte("xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Parser
+	var decoded []LayerType
+	if err := p.Decode(pkt, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 3 || decoded[2] != LayerUDP {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if p.UDP.SrcPort != 111 || p.UDP.DstPort != 222 || p.UDP.Length != 11 {
+		t.Errorf("udp header wrong: %+v", p.UDP)
+	}
+}
+
+func TestParserStopsAtUnknownLayers(t *testing.T) {
+	pkt, _ := BuildTCPPacket(ipA, ipB, 1, 2, 0, nil)
+	// Corrupt the ether type: decoding stops after Ethernet, no error.
+	pkt[12], pkt[13] = 0x86, 0xdd // IPv6
+	var p Parser
+	var decoded []LayerType
+	if err := p.Decode(pkt, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Errorf("decoded = %v, want just ethernet", decoded)
+	}
+	// Truncated IP header is a hard error.
+	short := pkt[:16]
+	short[12], short[13] = 0x08, 0x00
+	if err := p.Decode(short, &decoded); err == nil {
+		t.Error("truncated IP should error")
+	}
+	if err := p.Decode([]byte{1, 2, 3}, &decoded); err == nil {
+		t.Error("tiny frame should error")
+	}
+}
+
+func TestIPChecksumValid(t *testing.T) {
+	pkt, _ := BuildTCPPacket(ipA, ipB, 1, 2, 0, nil)
+	// Verify the checksum over the IP header sums to 0xffff.
+	hdr := pkt[14:34]
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	if uint16(sum) != 0xffff {
+		t.Errorf("ip checksum does not verify: %#x", sum)
+	}
+}
+
+func TestBuildRejectsIPv6(t *testing.T) {
+	v6 := netip.MustParseAddr("::1")
+	if _, err := BuildTCPPacket(v6, ipB, 1, 2, 0, nil); err == nil {
+		t.Error("IPv6 source should fail")
+	}
+}
+
+func TestDecodeNoAllocations(t *testing.T) {
+	pkt, _ := BuildTCPPacket(ipA, ipB, 5000, 80, 7, []byte("data"))
+	var p Parser
+	decoded := make([]LayerType, 0, 4)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.Decode(pkt, &decoded); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Decode allocates %.1f per packet, want 0", allocs)
+	}
+}

@@ -1,0 +1,172 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"choreo/internal/profile"
+	"choreo/internal/units"
+)
+
+// Optimal finds the completion-time-optimal placement by branch and bound
+// over task→machine assignments. It is exact and practical for the sizes
+// the paper's §5 comparison uses (it solved 111 applications against the
+// greedy algorithm); beyond ~10 tasks × ~8 machines the ILP or greedy
+// path should be preferred.
+//
+// maxNodes bounds the search (0 = generous default); exceeding it returns
+// an error rather than a silently suboptimal placement.
+func Optimal(app *profile.Application, env *Environment, model Model, maxNodes int) (Placement, error) {
+	if err := app.Validate(); err != nil {
+		return Placement{}, err
+	}
+	if err := env.Validate(); err != nil {
+		return Placement{}, err
+	}
+	if maxNodes <= 0 {
+		maxNodes = 20_000_000
+	}
+	J := app.Tasks()
+	M := env.Machines()
+
+	// Order tasks by total traffic descending so heavy tasks are fixed
+	// early and bounds bite sooner.
+	order := make([]int, J)
+	for i := range order {
+		order[i] = i
+	}
+	traffic := make([]units.ByteSize, J)
+	for _, tr := range app.TM.Transfers() {
+		traffic[tr.From] += tr.Bytes
+		traffic[tr.To] += tr.Bytes
+	}
+	sort.SliceStable(order, func(a, b int) bool { return traffic[order[a]] > traffic[order[b]] })
+
+	// Precompute per-task transfer lists for incremental bounding.
+	type edge struct {
+		other int
+		bytes units.ByteSize
+		out   bool // true: task→other, false: other→task
+	}
+	edges := make([][]edge, J)
+	for _, tr := range app.TM.Transfers() {
+		edges[tr.From] = append(edges[tr.From], edge{other: tr.To, bytes: tr.Bytes, out: true})
+		edges[tr.To] = append(edges[tr.To], edge{other: tr.From, bytes: tr.Bytes, out: false})
+	}
+
+	assign := make([]int, J)
+	for i := range assign {
+		assign[i] = -1
+	}
+	cpuLeft := append([]float64(nil), env.CPUCap...)
+
+	// Incremental group loads in bits.
+	pairBits := make(map[[2]int]float64)
+	egressBits := make([]float64, M)
+	intraBits := make([]float64, M)
+
+	groupTime := func(m, n int) float64 {
+		if model == Hose {
+			if m == n {
+				return intraBits[m] / float64(env.Rates[m][m])
+			}
+			return egressBits[m] / float64(e2hose(env, m))
+		}
+		return pairBits[[2]int{m, n}] / float64(env.Rates[m][n])
+	}
+
+	bestObj := math.Inf(1)
+	var bestAssign []int
+	nodes := 0
+
+	var budgetErr error
+	var rec func(depth int, partialMax float64)
+	rec = func(depth int, partialMax float64) {
+		if budgetErr != nil || partialMax >= bestObj {
+			return
+		}
+		if depth == J {
+			bestObj = partialMax
+			bestAssign = append(bestAssign[:0], assign...)
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			budgetErr = fmt.Errorf("place: optimal search exceeded %d nodes", maxNodes)
+			return
+		}
+		task := order[depth]
+		for m := 0; m < M; m++ {
+			if cpuLeft[m]+1e-9 < app.CPU[task] {
+				continue
+			}
+			// Apply: account transfers to already-placed neighbours.
+			type delta struct {
+				pair [2]int
+				bits float64
+			}
+			var deltas []delta
+			newMax := partialMax
+			assign[task] = m
+			cpuLeft[m] -= app.CPU[task]
+			for _, e := range edges[task] {
+				om := assign[e.other]
+				if om < 0 {
+					continue
+				}
+				src, dst := m, om
+				if !e.out {
+					src, dst = om, m
+				}
+				bits := e.bytes.Bits()
+				deltas = append(deltas, delta{pair: [2]int{src, dst}, bits: bits})
+				if model == Hose {
+					if src == dst {
+						intraBits[src] += bits
+					} else {
+						egressBits[src] += bits
+					}
+				} else {
+					pairBits[[2]int{src, dst}] += bits
+				}
+				if t := groupTime(src, dst); t > newMax {
+					newMax = t
+				}
+			}
+			rec(depth+1, newMax)
+			// Undo.
+			for _, d := range deltas {
+				if model == Hose {
+					if d.pair[0] == d.pair[1] {
+						intraBits[d.pair[0]] -= d.bits
+					} else {
+						egressBits[d.pair[0]] -= d.bits
+					}
+				} else {
+					pairBits[d.pair] -= d.bits
+				}
+			}
+			cpuLeft[m] += app.CPU[task]
+			assign[task] = -1
+		}
+	}
+	rec(0, 0)
+	if budgetErr != nil {
+		return Placement{}, budgetErr
+	}
+	if bestAssign == nil {
+		return Placement{}, fmt.Errorf("place: no CPU-feasible placement exists")
+	}
+	return Placement{MachineOf: bestAssign}, nil
+}
+
+// OptimalTime is a convenience returning the optimal completion time.
+func OptimalTime(app *profile.Application, env *Environment, model Model, maxNodes int) (time.Duration, error) {
+	p, err := Optimal(app, env, model, maxNodes)
+	if err != nil {
+		return 0, err
+	}
+	return CompletionTime(app, env, p, model)
+}

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"fmt"
+
+	"choreo/internal/stats"
+)
+
+// HourlySeries is the bytes an application (or task pair) moved in each
+// hour of a profiled period.
+type HourlySeries []float64
+
+// Predictor forecasts hour h from the history before h.
+type Predictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// Predict returns the forecast for hour h given the series; ok=false
+	// when not enough history exists.
+	Predict(s HourlySeries, h int) (v float64, ok bool)
+}
+
+// PrevHour predicts each hour as a copy of the previous hour — the
+// paper's "data from the previous hour is a good predictor" finding.
+type PrevHour struct{}
+
+// Name implements Predictor.
+func (PrevHour) Name() string { return "previous-hour" }
+
+// Predict implements Predictor.
+func (PrevHour) Predict(s HourlySeries, h int) (float64, bool) {
+	if h < 1 || h >= len(s) {
+		return 0, false
+	}
+	return s[h-1], true
+}
+
+// TimeOfDay predicts each hour as the mean of the same hour on previous
+// days.
+type TimeOfDay struct {
+	// HoursPerDay defaults to 24 when zero.
+	HoursPerDay int
+}
+
+// Name implements Predictor.
+func (p TimeOfDay) Name() string { return "time-of-day" }
+
+// Predict implements Predictor.
+func (p TimeOfDay) Predict(s HourlySeries, h int) (float64, bool) {
+	day := p.HoursPerDay
+	if day <= 0 {
+		day = 24
+	}
+	if h >= len(s) {
+		return 0, false
+	}
+	sum, count := 0.0, 0
+	for k := h - day; k >= 0; k -= day {
+		sum += s[k]
+		count++
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return sum / float64(count), true
+}
+
+// Evaluation summarizes a predictor's relative error over a series.
+type Evaluation struct {
+	Predictor string
+	Hours     int
+	Errors    stats.Summary
+}
+
+// Evaluate runs the predictor over every predictable hour of the series
+// and summarizes |predicted-actual|/actual. Hours with zero actual bytes
+// are skipped (the relative error is undefined there).
+func Evaluate(p Predictor, s HourlySeries) (Evaluation, error) {
+	if len(s) < 2 {
+		return Evaluation{}, fmt.Errorf("profile: series of %d hours is too short to evaluate", len(s))
+	}
+	var errs []float64
+	for h := 1; h < len(s); h++ {
+		if s[h] == 0 {
+			continue
+		}
+		pred, ok := p.Predict(s, h)
+		if !ok {
+			continue
+		}
+		errs = append(errs, stats.RelativeError(pred, s[h]))
+	}
+	if len(errs) == 0 {
+		return Evaluation{}, fmt.Errorf("profile: no predictable hours in series")
+	}
+	sum, err := stats.Summarize(errs)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{Predictor: p.Name(), Hours: len(errs), Errors: sum}, nil
+}

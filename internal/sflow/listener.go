@@ -1,0 +1,86 @@
+package sflow
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Listener receives sFlow v5 datagrams over UDP and feeds them to a
+// Collector — the live end of the paper's HP Cloud profiling pipeline
+// (switches export samples; Choreo accumulates traffic matrices).
+type Listener struct {
+	conn *net.UDPConn
+
+	mu        sync.Mutex
+	collector *Collector
+	errCount  int64
+
+	done chan struct{}
+}
+
+// Listen binds a UDP socket (addr like "0.0.0.0:6343", the sFlow default
+// port; ":0" for tests) and starts collecting.
+func Listen(addr string) (*Listener, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sflow: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("sflow: bind %q: %w", addr, err)
+	}
+	l := &Listener{
+		conn:      conn,
+		collector: NewCollector(),
+		done:      make(chan struct{}),
+	}
+	go l.loop()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.conn.LocalAddr().String() }
+
+func (l *Listener) loop() {
+	defer close(l.done)
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		l.mu.Lock()
+		if err := l.collector.Ingest(buf[:n]); err != nil {
+			l.errCount++
+		}
+		l.mu.Unlock()
+	}
+}
+
+// Snapshot returns a copy of the per-flow byte estimates so far plus the
+// number of undecodable datagrams.
+func (l *Listener) Snapshot() (map[string]int64, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.collector.Bytes))
+	for k, v := range l.collector.Bytes {
+		out[k.String()] = int64(v)
+	}
+	return out, l.errCount
+}
+
+// Collector hands the underlying collector to the caller under the
+// listener's lock via the callback (e.g. to build a traffic matrix).
+func (l *Listener) WithCollector(fn func(*Collector)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn(l.collector)
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error {
+	err := l.conn.Close()
+	<-l.done
+	return err
+}

@@ -1,0 +1,79 @@
+package sflow
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestListenerCollectsDatagrams(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	conn, err := net.Dial("udp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	d := sampleDatagram(t, 100)
+	wire, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage must be counted, not crash the loop.
+	if _, err := conn.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap, errs := l.Snapshot()
+		if len(snap) > 0 && errs > 0 {
+			// 1500-byte frame at rate 100 => 150000 estimated bytes.
+			for flow, bytes := range snap {
+				if bytes != 150000 {
+					t.Errorf("flow %s bytes = %d, want 150000", flow, bytes)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("datagram not collected: flows=%d errs=%d", len(snap), errs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Build a traffic matrix under the listener's lock.
+	l.WithCollector(func(c *Collector) {
+		mapper := func(addr netip.Addr) int {
+			switch addr {
+			case taskA:
+				return 0
+			case taskB:
+				return 1
+			}
+			return -1
+		}
+		tm, err := c.TrafficMatrix(2, mapper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm.At(0, 1) != 150000 {
+			t.Errorf("tm(0,1) = %d", tm.At(0, 1))
+		}
+	})
+}
+
+func TestListenerBadAddr(t *testing.T) {
+	if _, err := Listen("not-an-addr"); err == nil {
+		t.Error("bad address should fail")
+	}
+}

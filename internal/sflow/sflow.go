@@ -1,0 +1,357 @@
+// Package sflow implements the subset of sFlow version 5 that Choreo's
+// profiler consumes: datagrams carrying flow samples with raw Ethernet
+// packet headers, as exported by the top-of-rack and aggregation switches
+// of the paper's HP Cloud dataset (§6.1). Sampled frame lengths are scaled
+// by the sampling rate to estimate transferred bytes.
+package sflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"choreo/internal/pcap"
+	"choreo/internal/profile"
+	"choreo/internal/units"
+)
+
+// Version is the only sFlow version supported.
+const Version = 5
+
+// Record/sample type codes from the sFlow v5 specification.
+const (
+	sampleTypeFlow      = 1
+	recordTypeRawPacket = 1
+	headerProtoEthernet = 1
+	addressTypeIPv4     = 1
+)
+
+// RawPacketHeader is one sampled packet's leading bytes.
+type RawPacketHeader struct {
+	FrameLength uint32 // original frame length on the wire
+	Stripped    uint32 // bytes removed before sampling (e.g. FCS)
+	Header      []byte // leading header bytes (Ethernet onward)
+}
+
+// FlowSample is one flow sample: a sampling rate and its records.
+type FlowSample struct {
+	Sequence     uint32
+	SourceID     uint32
+	SamplingRate uint32
+	SamplePool   uint32
+	Drops        uint32
+	InputIf      uint32
+	OutputIf     uint32
+	Records      []RawPacketHeader
+}
+
+// Datagram is a parsed sFlow v5 datagram.
+type Datagram struct {
+	AgentAddress netip.Addr
+	SubAgentID   uint32
+	Sequence     uint32
+	UptimeMillis uint32
+	Samples      []FlowSample
+}
+
+// Encode serializes the datagram in sFlow v5 wire format.
+func (d *Datagram) Encode() ([]byte, error) {
+	if !d.AgentAddress.Is4() {
+		return nil, fmt.Errorf("sflow: agent address must be IPv4")
+	}
+	buf := make([]byte, 0, 256)
+	buf = be32(buf, Version)
+	buf = be32(buf, addressTypeIPv4)
+	a4 := d.AgentAddress.As4()
+	buf = append(buf, a4[:]...)
+	buf = be32(buf, d.SubAgentID)
+	buf = be32(buf, d.Sequence)
+	buf = be32(buf, d.UptimeMillis)
+	buf = be32(buf, uint32(len(d.Samples)))
+	for _, s := range d.Samples {
+		body, err := s.encodeBody()
+		if err != nil {
+			return nil, err
+		}
+		buf = be32(buf, sampleTypeFlow)
+		buf = be32(buf, uint32(len(body)))
+		buf = append(buf, body...)
+	}
+	return buf, nil
+}
+
+func (s *FlowSample) encodeBody() ([]byte, error) {
+	buf := make([]byte, 0, 128)
+	buf = be32(buf, s.Sequence)
+	buf = be32(buf, s.SourceID)
+	buf = be32(buf, s.SamplingRate)
+	buf = be32(buf, s.SamplePool)
+	buf = be32(buf, s.Drops)
+	buf = be32(buf, s.InputIf)
+	buf = be32(buf, s.OutputIf)
+	buf = be32(buf, uint32(len(s.Records)))
+	for _, r := range s.Records {
+		if len(r.Header) == 0 {
+			return nil, fmt.Errorf("sflow: empty raw packet header")
+		}
+		padded := (len(r.Header) + 3) &^ 3
+		buf = be32(buf, recordTypeRawPacket)
+		buf = be32(buf, uint32(16+padded))
+		buf = be32(buf, headerProtoEthernet)
+		buf = be32(buf, r.FrameLength)
+		buf = be32(buf, r.Stripped)
+		buf = be32(buf, uint32(len(r.Header)))
+		buf = append(buf, r.Header...)
+		for i := len(r.Header); i < padded; i++ {
+			buf = append(buf, 0)
+		}
+	}
+	return buf, nil
+}
+
+func be32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// reader is a bounds-checked big-endian cursor.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, fmt.Errorf("sflow: truncated at offset %d", r.off)
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, fmt.Errorf("sflow: truncated read of %d bytes at offset %d", n, r.off)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// Decode parses an sFlow v5 datagram. Unknown sample and record types are
+// skipped, matching collector convention.
+func Decode(data []byte) (*Datagram, error) {
+	r := &reader{data: data}
+	version, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("sflow: version %d unsupported", version)
+	}
+	addrType, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if addrType != addressTypeIPv4 {
+		return nil, fmt.Errorf("sflow: agent address type %d unsupported", addrType)
+	}
+	addrBytes, err := r.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	var a4 [4]byte
+	copy(a4[:], addrBytes)
+	d := &Datagram{AgentAddress: netip.AddrFrom4(a4)}
+	if d.SubAgentID, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if d.Sequence, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if d.UptimeMillis, err = r.u32(); err != nil {
+		return nil, err
+	}
+	nSamples, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nSamples; i++ {
+		sType, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		sLen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.bytes(int(sLen))
+		if err != nil {
+			return nil, err
+		}
+		if sType != sampleTypeFlow {
+			continue
+		}
+		sample, err := decodeFlowSample(body)
+		if err != nil {
+			return nil, err
+		}
+		d.Samples = append(d.Samples, *sample)
+	}
+	return d, nil
+}
+
+func decodeFlowSample(body []byte) (*FlowSample, error) {
+	r := &reader{data: body}
+	var s FlowSample
+	var err error
+	if s.Sequence, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if s.SourceID, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if s.SamplingRate, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if s.SamplePool, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if s.Drops, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if s.InputIf, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if s.OutputIf, err = r.u32(); err != nil {
+		return nil, err
+	}
+	nRecords, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nRecords; i++ {
+		rType, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		rLen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		rBody, err := r.bytes(int(rLen))
+		if err != nil {
+			return nil, err
+		}
+		if rType != recordTypeRawPacket {
+			continue
+		}
+		rec, err := decodeRawPacket(rBody)
+		if err != nil {
+			return nil, err
+		}
+		s.Records = append(s.Records, *rec)
+	}
+	return &s, nil
+}
+
+func decodeRawPacket(body []byte) (*RawPacketHeader, error) {
+	r := &reader{data: body}
+	proto, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if proto != headerProtoEthernet {
+		return nil, fmt.Errorf("sflow: header protocol %d unsupported", proto)
+	}
+	var rec RawPacketHeader
+	if rec.FrameLength, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if rec.Stripped, err = r.u32(); err != nil {
+		return nil, err
+	}
+	hdrLen, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := r.bytes(int(hdrLen))
+	if err != nil {
+		return nil, err
+	}
+	rec.Header = append([]byte(nil), hdr...)
+	return &rec, nil
+}
+
+// Collector accumulates sampled traffic into per-flow byte estimates,
+// scaling each sampled frame by its sample's sampling rate.
+type Collector struct {
+	parser  pcap.Parser
+	decoded []pcap.LayerType
+	// Bytes estimates wire bytes per directed flow.
+	Bytes map[pcap.FlowKey]units.ByteSize
+	// Datagrams counts processed datagrams; Skipped counts undecodable
+	// sampled headers.
+	Datagrams int64
+	Skipped   int64
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{Bytes: make(map[pcap.FlowKey]units.ByteSize)}
+}
+
+// Ingest processes one encoded datagram.
+func (c *Collector) Ingest(data []byte) error {
+	d, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	c.Datagrams++
+	for _, s := range d.Samples {
+		rate := s.SamplingRate
+		if rate == 0 {
+			rate = 1
+		}
+		for _, rec := range s.Records {
+			if err := c.parser.Decode(rec.Header, &c.decoded); err != nil || len(c.decoded) < 3 {
+				c.Skipped++
+				continue
+			}
+			key := pcap.FlowKey{Src: c.parser.IP.Src, Dst: c.parser.IP.Dst}
+			switch c.decoded[2] {
+			case pcap.LayerTCP:
+				key.Proto = pcap.ProtoTCP
+				key.SrcPort = c.parser.TCP.SrcPort
+				key.DstPort = c.parser.TCP.DstPort
+			case pcap.LayerUDP:
+				key.Proto = pcap.ProtoUDP
+				key.SrcPort = c.parser.UDP.SrcPort
+				key.DstPort = c.parser.UDP.DstPort
+			default:
+				c.Skipped++
+				continue
+			}
+			c.Bytes[key] += units.ByteSize(rec.FrameLength) * units.ByteSize(rate)
+		}
+	}
+	return nil
+}
+
+// TrafficMatrix folds the collected flows into an n-task matrix via the
+// mapper, like pcap.FlowAccumulator.TrafficMatrix.
+func (c *Collector) TrafficMatrix(n int, mapper pcap.TaskMapper) (*profile.TrafficMatrix, error) {
+	m := profile.NewTrafficMatrix(n)
+	for key, bytes := range c.Bytes {
+		from := mapper(key.Src)
+		to := mapper(key.Dst)
+		if from < 0 || to < 0 || from == to {
+			continue
+		}
+		if err := m.Add(from, to, bytes); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,194 @@
+package sflow
+
+import (
+	"net/netip"
+	"testing"
+
+	"choreo/internal/pcap"
+)
+
+var (
+	agentIP = netip.MustParseAddr("192.168.1.1")
+	taskA   = netip.MustParseAddr("10.0.0.1")
+	taskB   = netip.MustParseAddr("10.0.0.2")
+)
+
+func sampleDatagram(t *testing.T, samplingRate uint32) *Datagram {
+	t.Helper()
+	pkt, err := pcap.BuildTCPPacket(taskA, taskB, 5000, 80, 0, make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Datagram{
+		AgentAddress: agentIP,
+		SubAgentID:   1,
+		Sequence:     42,
+		UptimeMillis: 1000,
+		Samples: []FlowSample{{
+			Sequence:     7,
+			SourceID:     3,
+			SamplingRate: samplingRate,
+			SamplePool:   4096,
+			InputIf:      1,
+			OutputIf:     2,
+			Records: []RawPacketHeader{{
+				FrameLength: 1500,
+				Header:      pkt[:64],
+			}},
+		}},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := sampleDatagram(t, 512)
+	wire, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AgentAddress != agentIP || got.Sequence != 42 || got.SubAgentID != 1 {
+		t.Errorf("datagram header mismatch: %+v", got)
+	}
+	if len(got.Samples) != 1 {
+		t.Fatalf("samples = %d", len(got.Samples))
+	}
+	s := got.Samples[0]
+	if s.SamplingRate != 512 || s.SourceID != 3 || s.SamplePool != 4096 {
+		t.Errorf("sample mismatch: %+v", s)
+	}
+	if len(s.Records) != 1 || s.Records[0].FrameLength != 1500 {
+		t.Fatalf("records = %+v", s.Records)
+	}
+	if len(s.Records[0].Header) != 64 {
+		t.Errorf("header length = %d", len(s.Records[0].Header))
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	d := sampleDatagram(t, 1)
+	d.AgentAddress = netip.MustParseAddr("::1")
+	if _, err := d.Encode(); err == nil {
+		t.Error("IPv6 agent should fail")
+	}
+	d2 := sampleDatagram(t, 1)
+	d2.Samples[0].Records[0].Header = nil
+	if _, err := d2.Encode(); err == nil {
+		t.Error("empty header should fail")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil datagram should fail")
+	}
+	if _, err := Decode([]byte{0, 0, 0, 4}); err == nil {
+		t.Error("wrong version should fail")
+	}
+	d := sampleDatagram(t, 1)
+	wire, _ := d.Encode()
+	if _, err := Decode(wire[:len(wire)-3]); err == nil {
+		t.Error("truncated datagram should fail")
+	}
+}
+
+func TestHeaderPadding(t *testing.T) {
+	// A header whose length is not a multiple of 4 must round-trip.
+	pkt, err := pcap.BuildTCPPacket(taskA, taskB, 1, 2, 0, []byte{9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sampleDatagram(t, 1)
+	d.Samples[0].Records[0].Header = pkt[:57]
+	wire, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples[0].Records[0].Header) != 57 {
+		t.Errorf("padded header came back as %d bytes", len(got.Samples[0].Records[0].Header))
+	}
+}
+
+func TestCollectorScalesBySamplingRate(t *testing.T) {
+	c := NewCollector()
+	d := sampleDatagram(t, 1000)
+	wire, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(wire); err != nil {
+		t.Fatal(err)
+	}
+	if c.Datagrams != 1 {
+		t.Errorf("datagrams = %d", c.Datagrams)
+	}
+	key := pcap.FlowKey{Src: taskA, Dst: taskB, SrcPort: 5000, DstPort: 80, Proto: pcap.ProtoTCP}
+	// One 1500-byte frame sampled at 1/1000 => 1.5 MB estimated.
+	if got := c.Bytes[key]; got != 1500*1000 {
+		t.Errorf("estimated bytes = %d, want 1500000", got)
+	}
+}
+
+func TestCollectorTrafficMatrix(t *testing.T) {
+	c := NewCollector()
+	wire, err := sampleDatagram(t, 10).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(wire); err != nil {
+		t.Fatal(err)
+	}
+	mapper := func(addr netip.Addr) int {
+		switch addr {
+		case taskA:
+			return 0
+		case taskB:
+			return 1
+		}
+		return -1
+	}
+	tm, err := c.TrafficMatrix(2, mapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.At(0, 1); got != 15000 {
+		t.Errorf("tm(0,1) = %d, want 15000", got)
+	}
+}
+
+func TestCollectorSkipsUndecodableHeaders(t *testing.T) {
+	c := NewCollector()
+	d := sampleDatagram(t, 1)
+	d.Samples[0].Records[0].Header = []byte{1, 2, 3, 4} // not a frame
+	wire, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(wire); err != nil {
+		t.Fatal(err)
+	}
+	if c.Skipped != 1 || len(c.Bytes) != 0 {
+		t.Errorf("skipped = %d, flows = %d", c.Skipped, len(c.Bytes))
+	}
+}
+
+func TestZeroSamplingRateTreatedAsOne(t *testing.T) {
+	c := NewCollector()
+	wire, err := sampleDatagram(t, 0).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(wire); err != nil {
+		t.Fatal(err)
+	}
+	key := pcap.FlowKey{Src: taskA, Dst: taskB, SrcPort: 5000, DstPort: 80, Proto: pcap.ProtoTCP}
+	if got := c.Bytes[key]; got != 1500 {
+		t.Errorf("bytes = %d, want 1500", got)
+	}
+}

@@ -1,0 +1,278 @@
+// Package stats provides the small statistical toolkit the Choreo
+// experiments share: empirical CDFs, percentiles, summary statistics and
+// relative-error helpers. Every figure in the paper is either a CDF or a
+// scatter of summary values, so this package is the backbone of
+// internal/experiments.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrEmpty is returned by constructors and accessors that need at least one
+// sample.
+var ErrEmpty = errors.New("stats: no samples")
+
+// CDF is an empirical cumulative distribution function over float64 samples.
+// The zero value is empty; add samples with Add or build one with NewCDF.
+type CDF struct {
+	sorted []float64
+	dirty  bool
+}
+
+// NewCDF builds a CDF from the given samples. The input slice is copied.
+func NewCDF(samples []float64) *CDF {
+	c := &CDF{}
+	for _, s := range samples {
+		c.Add(s)
+	}
+	return c
+}
+
+// Add inserts one sample.
+func (c *CDF) Add(v float64) {
+	c.sorted = append(c.sorted, v)
+	c.dirty = true
+}
+
+// Len reports the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+func (c *CDF) ensureSorted() {
+	if c.dirty {
+		sort.Float64s(c.sorted)
+		c.dirty = false
+	}
+}
+
+// At returns the empirical CDF value P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	// Index of the first sample > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics.
+func (c *CDF) Percentile(p float64) (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0,100]", p)
+	}
+	c.ensureSorted()
+	if len(c.sorted) == 1 {
+		return c.sorted[0], nil
+	}
+	rank := p / 100 * float64(len(c.sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c.sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return c.sorted[lo]*(1-frac) + c.sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func (c *CDF) Median() (float64, error) { return c.Percentile(50) }
+
+// Min returns the smallest sample.
+func (c *CDF) Min() (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	c.ensureSorted()
+	return c.sorted[0], nil
+}
+
+// Max returns the largest sample.
+func (c *CDF) Max() (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	c.ensureSorted()
+	return c.sorted[len(c.sorted)-1], nil
+}
+
+// Mean returns the arithmetic mean of the samples.
+func (c *CDF) Mean() (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	return Mean(c.sorted), nil
+}
+
+// FractionAbove returns P(X > x).
+func (c *CDF) FractionAbove(x float64) float64 { return 1 - c.At(x) }
+
+// FractionBetween returns P(lo <= X <= hi).
+func (c *CDF) FractionBetween(lo, hi float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	i := sort.SearchFloat64s(c.sorted, lo)
+	j := sort.SearchFloat64s(c.sorted, math.Nextafter(hi, math.Inf(1)))
+	return float64(j-i) / float64(len(c.sorted))
+}
+
+// Points returns up to n evenly spaced (x, P(X<=x)) pairs suitable for
+// printing a CDF line. For n <= 0 or n greater than the sample count, every
+// sample contributes a point.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 {
+		return nil
+	}
+	c.ensureSorted()
+	total := len(c.sorted)
+	if n <= 0 || n >= total {
+		pts := make([]Point, total)
+		for i, v := range c.sorted {
+			pts[i] = Point{X: v, Y: float64(i+1) / float64(total)}
+		}
+		return pts
+	}
+	pts := make([]Point, 0, n)
+	for k := 1; k <= n; k++ {
+		idx := k*total/n - 1
+		if idx < 0 {
+			idx = 0
+		}
+		pts = append(pts, Point{X: c.sorted[idx], Y: float64(idx+1) / float64(total)})
+	}
+	return pts
+}
+
+// Point is one (x, y) pair of a printed series.
+type Point struct {
+	X, Y float64
+}
+
+// Summary holds the descriptive statistics reported throughout the paper.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	P95    float64
+	Stddev float64
+}
+
+// Summarize computes a Summary of the samples.
+func Summarize(samples []float64) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	c := NewCDF(samples)
+	med, _ := c.Median()
+	mn, _ := c.Min()
+	mx, _ := c.Max()
+	p95, _ := c.Percentile(95)
+	return Summary{
+		N:      len(samples),
+		Mean:   Mean(samples),
+		Median: med,
+		Min:    mn,
+		Max:    mx,
+		P95:    p95,
+		Stddev: Stddev(samples),
+	}, nil
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f median=%.3f min=%.3f max=%.3f p95=%.3f stddev=%.3f",
+		s.N, s.Mean, s.Median, s.Min, s.Max, s.P95, s.Stddev)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// Stddev returns the population standard deviation, or 0 for fewer than two
+// samples.
+func Stddev(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	m := Mean(samples)
+	sum := 0.0
+	for _, v := range samples {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(samples)))
+}
+
+// RelativeError returns |estimate-actual|/|actual|. It is the error metric
+// used by Figures 6 and 7. A zero actual with a zero estimate is error 0; a
+// zero actual with a non-zero estimate is +Inf.
+func RelativeError(estimate, actual float64) float64 {
+	if actual == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(estimate-actual) / math.Abs(actual)
+}
+
+// RelativeSpeedup is the paper's Figure 10 metric: the fraction of the
+// baseline completion time saved by Choreo, (baseline - choreo) / baseline.
+// Positive values mean Choreo was faster.
+func RelativeSpeedup(baseline, choreo float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - choreo) / baseline
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples.
+// It returns 0 when either side has no variance or the lengths differ.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// FormatCDF renders a CDF as aligned "x y" rows, one per point, matching the
+// series the paper plots. Used by cmd/choreo-bench.
+func FormatCDF(name string, c *CDF, points int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%d samples)\n", name, c.Len())
+	for _, p := range c.Points(points) {
+		fmt.Fprintf(&b, "%12.3f %7.4f\n", p.X, p.Y)
+	}
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFAtEmpty(t *testing.T) {
+	var c CDF
+	if got := c.At(10); got != 0 {
+		t.Errorf("empty CDF At = %v, want 0", got)
+	}
+	if _, err := c.Median(); err != ErrEmpty {
+		t.Errorf("empty CDF Median error = %v, want ErrEmpty", err)
+	}
+	if _, err := c.Min(); err != ErrEmpty {
+		t.Errorf("empty CDF Min error = %v, want ErrEmpty", err)
+	}
+	if _, err := c.Max(); err != ErrEmpty {
+		t.Errorf("empty CDF Max error = %v, want ErrEmpty", err)
+	}
+	if _, err := c.Mean(); err != ErrEmpty {
+		t.Errorf("empty CDF Mean error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 10},
+		{25, 20},
+		{50, 30},
+		{100, 50},
+		{12.5, 15},
+	}
+	for _, tc := range cases {
+		got, err := c.Percentile(tc.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tc.p, err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := c.Percentile(-1); err == nil {
+		t.Error("Percentile(-1) should error")
+	}
+	if _, err := c.Percentile(101); err == nil {
+		t.Error("Percentile(101) should error")
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	c := NewCDF([]float64{42})
+	for _, p := range []float64{0, 50, 100} {
+		got, err := c.Percentile(p)
+		if err != nil || got != 42 {
+			t.Errorf("Percentile(%v) = %v, %v; want 42, nil", p, got, err)
+		}
+	}
+}
+
+func TestFractionBetween(t *testing.T) {
+	c := NewCDF([]float64{100, 900, 950, 1000, 1050, 1100, 4000})
+	if got := c.FractionBetween(900, 1100); math.Abs(got-5.0/7) > 1e-9 {
+		t.Errorf("FractionBetween(900,1100) = %v, want %v", got, 5.0/7)
+	}
+	if got := c.FractionAbove(1100); math.Abs(got-1.0/7) > 1e-9 {
+		t.Errorf("FractionAbove(1100) = %v, want %v", got, 1.0/7)
+	}
+	var empty CDF
+	if got := empty.FractionBetween(0, 1); got != 0 {
+		t.Errorf("empty FractionBetween = %v, want 0", got)
+	}
+}
+
+func TestPointsDownsampling(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	c := NewCDF(samples)
+	pts := c.Points(10)
+	if len(pts) != 10 {
+		t.Fatalf("Points(10) returned %d points", len(pts))
+	}
+	if pts[9].Y != 1 {
+		t.Errorf("last point Y = %v, want 1", pts[9].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Errorf("points not monotonic at %d: %+v %+v", i, pts[i-1], pts[i])
+		}
+	}
+	// Full resolution when n <= 0.
+	if got := len(c.Points(0)); got != 1000 {
+		t.Errorf("Points(0) = %d points, want 1000", got)
+	}
+	var empty CDF
+	if pts := empty.Points(5); pts != nil {
+		t.Errorf("empty Points = %v, want nil", pts)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summary basic fields wrong: %+v", s)
+	}
+	if math.Abs(s.Stddev-2) > 1e-9 {
+		t.Errorf("Stddev = %v, want 2", s.Stddev)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) error = %v, want ErrEmpty", err)
+	}
+	if !strings.Contains(s.String(), "mean=5.000") {
+		t.Errorf("Summary.String() = %q", s.String())
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError(110,100) = %v, want 0.1", got)
+	}
+	if got := RelativeError(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError(90,100) = %v, want 0.1", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Errorf("RelativeError(0,0) = %v, want 0", got)
+	}
+	if got := RelativeError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelativeError(1,0) = %v, want +Inf", got)
+	}
+}
+
+func TestRelativeSpeedup(t *testing.T) {
+	// The paper's example: five hours baseline, four with Choreo = 20%.
+	if got := RelativeSpeedup(5, 4); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("RelativeSpeedup(5,4) = %v, want 0.2", got)
+	}
+	if got := RelativeSpeedup(4, 5); math.Abs(got+0.25) > 1e-12 {
+		t.Errorf("RelativeSpeedup(4,5) = %v, want -0.25", got)
+	}
+	if got := RelativeSpeedup(0, 5); got != 0 {
+		t.Errorf("RelativeSpeedup(0,5) = %v, want 0", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v, want -1", got)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if got := Pearson(xs, flat); got != 0 {
+		t.Errorf("no-variance correlation = %v, want 0", got)
+	}
+	if got := Pearson(xs, xs[:3]); got != 0 {
+		t.Errorf("length mismatch = %v, want 0", got)
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2})
+	out := FormatCDF("demo", c, 0)
+	if !strings.HasPrefix(out, "# demo (2 samples)\n") {
+		t.Errorf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "1.000") || !strings.Contains(out, "0.5000") {
+		t.Errorf("rows missing: %q", out)
+	}
+}
+
+// Property: At is a valid CDF — monotone, 0 below min, 1 at max.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewCDF(vals)
+		sort.Float64s(vals)
+		if c.At(vals[len(vals)-1]) != 1 {
+			return false
+		}
+		if below := math.Nextafter(vals[0], math.Inf(-1)); c.At(below) != 0 {
+			return false
+		}
+		prev := -1.0
+		for _, v := range vals {
+			cur := c.At(v)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bracketed by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+		}
+		c := NewCDF(vals)
+		mn, _ := c.Min()
+		mx, _ := c.Max()
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v, err := c.Percentile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev {
+				t.Fatalf("percentile not monotone at p=%v", p)
+			}
+			if v < mn-1e-9 || v > mx+1e-9 {
+				t.Fatalf("percentile %v out of [min,max]", v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestMeanAndStddevEdgeCases(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Stddev([]float64{5}); got != 0 {
+		t.Errorf("Stddev(one sample) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,302 @@
+// Package topology models multi-rooted-tree datacenter fabrics of the kind
+// Choreo infers (paper §3.3.1, Figure 5): virtual machines on physical
+// hosts, hosts under top-of-rack switches, and one or more aggregation
+// tiers capped by a set of core switches. It provides deterministic
+// up/down routing, traceroute-style hop counting, and the per-provider
+// profiles (EC2 May 2012, EC2 May 2013, Rackspace) used throughout the
+// reproduction.
+//
+// The graph is intentionally simple: every node except the members of the
+// top tier has exactly one parent, and members of the tier directly below
+// the top connect to every top (core) switch. Equal-cost core choice is
+// made by a deterministic hash of the communicating pair, which mirrors
+// ECMP flow hashing closely enough for Choreo's purposes (the paper's
+// bottleneck rules already note that two subtree-crossing paths "may not
+// interfere" because ECMP can split them).
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"choreo/internal/units"
+)
+
+// Kind identifies the role of a node in the fabric.
+type Kind uint8
+
+// Node kinds, bottom of the tree first.
+const (
+	KindHost Kind = iota
+	KindToR
+	KindAgg
+	KindSpine
+	KindCore
+)
+
+var kindNames = map[Kind]string{
+	KindHost:  "host",
+	KindToR:   "tor",
+	KindAgg:   "agg",
+	KindSpine: "spine",
+	KindCore:  "core",
+}
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// NodeID indexes Topology.Nodes.
+type NodeID int32
+
+// LinkID indexes Topology.Links.
+type LinkID int32
+
+// Node is a switch or physical host in the fabric.
+type Node struct {
+	ID    NodeID
+	Kind  Kind
+	Name  string
+	Level int      // 0 = host tier, increasing toward the cores
+	Up    []NodeID // parents; len>1 only directly below the top tier
+	Down  []NodeID // children
+}
+
+// Link is one direction of a cable. Duplex cables are two Links.
+type Link struct {
+	ID       LinkID
+	From, To NodeID
+	Capacity units.Rate
+	Latency  time.Duration
+}
+
+// Topology is an immutable fabric once built.
+type Topology struct {
+	Nodes []Node
+	Links []Link
+
+	linkIndex map[[2]NodeID]LinkID
+	hosts     []NodeID
+	levels    int
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{linkIndex: make(map[[2]NodeID]LinkID)}
+}
+
+// AddNode appends a node and returns its ID.
+func (t *Topology) AddNode(kind Kind, level int, name string) NodeID {
+	id := NodeID(len(t.Nodes))
+	t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Name: name, Level: level})
+	if kind == KindHost {
+		t.hosts = append(t.hosts, id)
+	}
+	if level+1 > t.levels {
+		t.levels = level + 1
+	}
+	return id
+}
+
+// AddDuplex wires child to parent with a duplex cable of the given capacity
+// and one-way latency, recording the parent/child relationship.
+func (t *Topology) AddDuplex(child, parent NodeID, capacity units.Rate, latency time.Duration) {
+	t.addLink(child, parent, capacity, latency)
+	t.addLink(parent, child, capacity, latency)
+	t.Nodes[child].Up = append(t.Nodes[child].Up, parent)
+	t.Nodes[parent].Down = append(t.Nodes[parent].Down, child)
+}
+
+func (t *Topology) addLink(from, to NodeID, capacity units.Rate, latency time.Duration) LinkID {
+	id := LinkID(len(t.Links))
+	t.Links = append(t.Links, Link{ID: id, From: from, To: to, Capacity: capacity, Latency: latency})
+	t.linkIndex[[2]NodeID{from, to}] = id
+	return id
+}
+
+// LinkBetween returns the directed link from one node to another.
+func (t *Topology) LinkBetween(from, to NodeID) (LinkID, bool) {
+	id, ok := t.linkIndex[[2]NodeID{from, to}]
+	return id, ok
+}
+
+// Hosts returns the IDs of all physical hosts.
+func (t *Topology) Hosts() []NodeID { return t.hosts }
+
+// Levels returns the number of tiers, hosts included.
+func (t *Topology) Levels() int { return t.levels }
+
+// ancestors returns the chain [node, parent, grandparent, ...] following
+// the single-parent links, stopping below the multi-parent (core) tier.
+func (t *Topology) ancestors(n NodeID) []NodeID {
+	chain := []NodeID{n}
+	cur := n
+	for {
+		ups := t.Nodes[cur].Up
+		if len(ups) != 1 {
+			break
+		}
+		cur = ups[0]
+		chain = append(chain, cur)
+	}
+	return chain
+}
+
+// HostRoute computes the directed links from one host to another using
+// up/down tree routing. The pairKey selects among equal-cost cores
+// deterministically. It returns nil for a host routed to itself.
+func (t *Topology) HostRoute(src, dst NodeID, pairKey uint64) ([]LinkID, error) {
+	if src == dst {
+		return nil, nil
+	}
+	if t.Nodes[src].Kind != KindHost || t.Nodes[dst].Kind != KindHost {
+		return nil, fmt.Errorf("topology: route endpoints must be hosts, got %v and %v",
+			t.Nodes[src].Kind, t.Nodes[dst].Kind)
+	}
+	up := t.ancestors(src)
+	down := t.ancestors(dst)
+
+	// Look for the lowest common ancestor within the single-parent chains.
+	pos := make(map[NodeID]int, len(down))
+	for i, n := range down {
+		pos[n] = i
+	}
+	lcaUp, lcaDown := -1, -1
+	for i, n := range up {
+		if j, ok := pos[n]; ok {
+			lcaUp, lcaDown = i, j
+			break
+		}
+	}
+
+	var path []LinkID
+	appendHop := func(from, to NodeID) error {
+		id, ok := t.LinkBetween(from, to)
+		if !ok {
+			return fmt.Errorf("topology: no link %s -> %s",
+				t.Nodes[from].Name, t.Nodes[to].Name)
+		}
+		path = append(path, id)
+		return nil
+	}
+
+	if lcaUp >= 0 {
+		// Stay inside the subtree: climb to the LCA, then descend.
+		for i := 0; i+1 <= lcaUp; i++ {
+			if err := appendHop(up[i], up[i+1]); err != nil {
+				return nil, err
+			}
+		}
+		for i := lcaDown; i >= 1; i-- {
+			if err := appendHop(down[i], down[i-1]); err != nil {
+				return nil, err
+			}
+		}
+		return path, nil
+	}
+
+	// Cross the top tier: climb both chains fully, cross via a core chosen
+	// by the pair key.
+	topSrc := up[len(up)-1]
+	cores := t.Nodes[topSrc].Up
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("topology: hosts %s and %s share no ancestor and %s has no core uplinks",
+			t.Nodes[src].Name, t.Nodes[dst].Name, t.Nodes[topSrc].Name)
+	}
+	core := cores[int(pairKey%uint64(len(cores)))]
+	for i := 0; i+1 < len(up); i++ {
+		if err := appendHop(up[i], up[i+1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := appendHop(topSrc, core); err != nil {
+		return nil, err
+	}
+	topDst := down[len(down)-1]
+	if err := appendHop(core, topDst); err != nil {
+		return nil, err
+	}
+	for i := len(down) - 1; i >= 1; i-- {
+		if err := appendHop(down[i], down[i-1]); err != nil {
+			return nil, err
+		}
+	}
+	return path, nil
+}
+
+// RouteLatency sums the one-way latency of the links.
+func (t *Topology) RouteLatency(links []LinkID) time.Duration {
+	var total time.Duration
+	for _, id := range links {
+		total += t.Links[id].Latency
+	}
+	return total
+}
+
+// TreeSpec describes one tier-to-tier stage of a regular multi-rooted tree,
+// bottom-up. Fanout is the number of children each upper node has.
+type TreeSpec struct {
+	Kind     Kind
+	Fanout   int
+	Capacity units.Rate
+	Latency  time.Duration
+}
+
+// BuildTree constructs a regular tree: `cores` top switches, then each
+// stage multiplies the node count by its fanout going down. The last spec
+// stage must produce hosts. Every tier-below-top node has one parent,
+// except the tier directly below the cores, which connects to all cores.
+func BuildTree(cores int, stages []TreeSpec) (*Topology, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("topology: need at least one core, got %d", cores)
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("topology: need at least one stage")
+	}
+	if stages[len(stages)-1].Kind != KindHost {
+		return nil, fmt.Errorf("topology: bottom stage must be hosts, got %v",
+			stages[len(stages)-1].Kind)
+	}
+	t := New()
+	level := len(stages)
+	top := make([]NodeID, cores)
+	for i := range top {
+		top[i] = t.AddNode(KindCore, level, fmt.Sprintf("core%d", i))
+	}
+	parents := top
+	firstBelowTop := true
+	for s, spec := range stages {
+		if spec.Fanout < 1 {
+			return nil, fmt.Errorf("topology: stage %d fanout %d < 1", s, spec.Fanout)
+		}
+		level--
+		var tier []NodeID
+		if firstBelowTop {
+			// The tier below the cores connects to every core (multi-rooted).
+			n := spec.Fanout
+			for i := 0; i < n; i++ {
+				id := t.AddNode(spec.Kind, level, fmt.Sprintf("%s%d", spec.Kind, i))
+				for _, c := range parents {
+					t.AddDuplex(id, c, spec.Capacity, spec.Latency)
+				}
+				tier = append(tier, id)
+			}
+			firstBelowTop = false
+		} else {
+			for pi, p := range parents {
+				for i := 0; i < spec.Fanout; i++ {
+					id := t.AddNode(spec.Kind, level,
+						fmt.Sprintf("%s%d", spec.Kind, pi*spec.Fanout+i))
+					t.AddDuplex(id, p, spec.Capacity, spec.Latency)
+					tier = append(tier, id)
+				}
+			}
+		}
+		parents = tier
+	}
+	return t, nil
+}

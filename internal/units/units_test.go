@@ -1,0 +1,111 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateConstructorsAndAccessors(t *testing.T) {
+	if got := Mbps(300).Mbps(); got != 300 {
+		t.Errorf("Mbps round trip = %v, want 300", got)
+	}
+	if got := Gbps(1).Gbps(); got != 1 {
+		t.Errorf("Gbps round trip = %v, want 1", got)
+	}
+	if Gbps(1) != Mbps(1000) {
+		t.Errorf("1 Gbit/s != 1000 Mbit/s")
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		want string
+	}{
+		{Gbps(1.5), "1.50 Gbit/s"},
+		{Mbps(300), "300.0 Mbit/s"},
+		{Rate(2500), "2.5 Kbit/s"},
+		{Rate(12), "12 bit/s"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Rate(%v).String() = %q, want %q", float64(c.r), got, c.want)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		b    ByteSize
+		want string
+	}{
+		{2 * Gigabyte, "2.00 GB"},
+		{100 * Megabyte, "100.0 MB"},
+		{1500, "1.5 KB"},
+		{99, "99 B"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 125 MB at 1 Gbit/s = 1 second.
+	got := TransferTime(125*Megabyte, Gbps(1))
+	if got != time.Second {
+		t.Errorf("TransferTime = %v, want 1s", got)
+	}
+	if got := TransferTime(Megabyte, 0); got != time.Duration(1<<63-1) {
+		t.Errorf("TransferTime at zero rate = %v, want max duration", got)
+	}
+	if got := TransferTime(Megabyte, -5); got != time.Duration(1<<63-1) {
+		t.Errorf("TransferTime at negative rate = %v, want max duration", got)
+	}
+}
+
+func TestBytesOver(t *testing.T) {
+	// 1 Gbit/s for one second is 125 MB.
+	got := BytesOver(Gbps(1), time.Second)
+	if got != 125*Megabyte {
+		t.Errorf("BytesOver = %v, want 125 MB", got)
+	}
+	if got := BytesOver(Mbps(8), 500*time.Millisecond); got != 500*Kilobyte {
+		t.Errorf("BytesOver = %v, want 500 KB", got)
+	}
+}
+
+func TestSecondsClamps(t *testing.T) {
+	if got := Seconds(math.Inf(1)); got != time.Duration(1<<63-1) {
+		t.Errorf("Seconds(+Inf) = %v, want max", got)
+	}
+	if got := Seconds(-math.Inf(1)); got != -time.Duration(1<<63-1) {
+		t.Errorf("Seconds(-Inf) = %v, want min", got)
+	}
+	if got := Seconds(1.5); got != 1500*time.Millisecond {
+		t.Errorf("Seconds(1.5) = %v, want 1.5s", got)
+	}
+}
+
+// Property: transferring the bytes produced by BytesOver at the same rate
+// takes (approximately) the original duration.
+func TestTransferRoundTripProperty(t *testing.T) {
+	f := func(mbps uint16, millis uint16) bool {
+		r := Mbps(float64(mbps%5000) + 1)
+		d := time.Duration(millis%10000+1) * time.Millisecond
+		b := BytesOver(r, d)
+		back := TransferTime(b, r)
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		// Byte truncation may lose up to 8 bits / rate seconds.
+		return diff <= time.Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package workload generates tenant applications shaped like the HP
+// Cloud dataset the paper evaluates on (§6.1): applications of a few to a
+// dozen tasks with communication patterns ranging from shuffle-heavy
+// (MapReduce-like) through scatter-gather and pipelines to uniform
+// all-to-all, CPU demands between 0.5 and 4 cores, and observed start
+// times for the in-sequence experiments.
+//
+// The pattern mix matters for reproducing Figure 10: skewed matrices give
+// Choreo room to win, while near-uniform matrices (some MapReduce jobs,
+// §7.1) leave little to exploit — those are the ~30% of runs where Choreo
+// ties or loses slightly.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"choreo/internal/profile"
+	"choreo/internal/units"
+)
+
+// Pattern is a communication shape.
+type Pattern int
+
+// Patterns.
+const (
+	// Shuffle: two stages (mappers and reducers); every mapper sends to
+	// every reducer with skewed sizes.
+	Shuffle Pattern = iota
+	// ScatterGather: a coordinator scatters to workers and gathers
+	// results back.
+	ScatterGather
+	// Pipeline: a chain of stages, each passing data to the next.
+	Pipeline
+	// Uniform: all-to-all with near-equal sizes (little for Choreo to
+	// exploit).
+	Uniform
+	// Skewed: a few random heavy pairs dominate.
+	Skewed
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Shuffle:
+		return "shuffle"
+	case ScatterGather:
+		return "scatter-gather"
+	case Pipeline:
+		return "pipeline"
+	case Uniform:
+		return "uniform"
+	case Skewed:
+		return "skewed"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// Config controls generation.
+type Config struct {
+	MinTasks, MaxTasks int
+	// MeanBytes scales transfer sizes (mean of the heavy transfers).
+	MeanBytes units.ByteSize
+	// Patterns to draw from, uniformly. Empty means all patterns.
+	Patterns []Pattern
+	// CPUChoices for per-task demands; empty means {0.5, 1, 1.5, ..., 4},
+	// the paper's modelling assumption.
+	CPUChoices []float64
+}
+
+// Default returns the configuration used by the Figure 10 experiments.
+func Default() Config {
+	return Config{
+		MinTasks:  4,
+		MaxTasks:  10,
+		MeanBytes: 200 * units.Megabyte,
+	}
+}
+
+func (c Config) patterns() []Pattern {
+	if len(c.Patterns) > 0 {
+		return c.Patterns
+	}
+	return []Pattern{Shuffle, ScatterGather, Pipeline, Uniform, Skewed}
+}
+
+func (c Config) cpuChoices() []float64 {
+	if len(c.CPUChoices) > 0 {
+		return c.CPUChoices
+	}
+	return []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4}
+}
+
+func (c Config) validate() error {
+	if c.MinTasks < 2 {
+		return fmt.Errorf("workload: MinTasks %d < 2", c.MinTasks)
+	}
+	if c.MaxTasks < c.MinTasks {
+		return fmt.Errorf("workload: MaxTasks %d < MinTasks %d", c.MaxTasks, c.MinTasks)
+	}
+	if c.MeanBytes <= 0 {
+		return fmt.Errorf("workload: MeanBytes %d must be positive", c.MeanBytes)
+	}
+	return nil
+}
+
+// lognormalish returns a positive size with mean roughly mean.
+func lognormalish(rng *rand.Rand, mean float64) units.ByteSize {
+	v := mean * (0.25 + rng.ExpFloat64())
+	if v < 1 {
+		v = 1
+	}
+	return units.ByteSize(v)
+}
+
+// Generate draws one application.
+func Generate(rng *rand.Rand, cfg Config) (*profile.Application, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.MinTasks + rng.Intn(cfg.MaxTasks-cfg.MinTasks+1)
+	pattern := cfg.patterns()[rng.Intn(len(cfg.patterns()))]
+	app := &profile.Application{
+		Name: fmt.Sprintf("%s-%d", pattern, n),
+		CPU:  make([]float64, n),
+		TM:   profile.NewTrafficMatrix(n),
+	}
+	choices := cfg.cpuChoices()
+	for i := range app.CPU {
+		app.CPU[i] = choices[rng.Intn(len(choices))]
+	}
+	mean := float64(cfg.MeanBytes)
+
+	set := func(i, j int, b units.ByteSize) {
+		if i != j && b > 0 {
+			_ = app.TM.Add(i, j, b)
+		}
+	}
+
+	switch pattern {
+	case Shuffle:
+		mappers := n / 2
+		if mappers == 0 {
+			mappers = 1
+		}
+		for i := 0; i < mappers; i++ {
+			for j := mappers; j < n; j++ {
+				set(i, j, lognormalish(rng, mean/float64(n-mappers)))
+			}
+		}
+	case ScatterGather:
+		for w := 1; w < n; w++ {
+			set(0, w, lognormalish(rng, mean))
+			set(w, 0, lognormalish(rng, mean/2))
+		}
+	case Pipeline:
+		for i := 0; i+1 < n; i++ {
+			set(i, i+1, lognormalish(rng, mean))
+		}
+	case Uniform:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					// Narrow spread: ±10% around the mean.
+					b := mean / float64(n-1) * (0.9 + 0.2*rng.Float64())
+					set(i, j, units.ByteSize(b))
+				}
+			}
+		}
+	case Skewed:
+		heavy := 1 + rng.Intn(3)
+		for k := 0; k < heavy; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			set(i, j, lognormalish(rng, mean*3))
+		}
+		light := n
+		for k := 0; k < light; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			set(i, j, lognormalish(rng, mean/10))
+		}
+	}
+
+	// Guarantee at least one transfer so the application is placeable in
+	// a meaningful way.
+	if app.TM.Total() == 0 {
+		set(0, 1, lognormalish(rng, mean))
+	}
+	return app, nil
+}
+
+// GenerateSequence draws count applications with Poisson arrivals at the
+// given mean inter-arrival time, ordered by start time — the §6.3
+// in-sequence scenario.
+func GenerateSequence(rng *rand.Rand, cfg Config, count int, meanInterarrival time.Duration) ([]*profile.Application, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("workload: count %d must be positive", count)
+	}
+	var apps []*profile.Application
+	var at time.Duration
+	for k := 0; k < count; k++ {
+		app, err := Generate(rng, cfg)
+		if err != nil {
+			return nil, err
+		}
+		app.Start = at
+		apps = append(apps, app)
+		at += time.Duration(rng.ExpFloat64() * float64(meanInterarrival))
+	}
+	return apps, nil
+}
+
+// HourlyTrace synthesizes the per-hour byte counts of a long-running
+// service with a diurnal cycle, hour-over-hour persistence and noise —
+// the statistical shape under the paper's predictability claim (§2.1).
+// base is the mean hourly bytes; diurnalAmp and noiseStd are relative.
+func HourlyTrace(rng *rand.Rand, hours int, base, diurnalAmp, noiseStd float64) profile.HourlySeries {
+	s := make(profile.HourlySeries, hours)
+	level := base
+	for h := 0; h < hours; h++ {
+		// AR(1) persistence plus a 24-hour sinusoid.
+		level = 0.7*level + 0.3*base
+		diurnal := 1 + diurnalAmp*sin24(h)
+		v := level * diurnal * (1 + rng.NormFloat64()*noiseStd)
+		if v < 0 {
+			v = 0
+		}
+		s[h] = v
+	}
+	return s
+}
+
+// sin24 is a cheap 24-period sinusoid lookup.
+func sin24(h int) float64 {
+	table := [24]float64{0, 0.26, 0.5, 0.71, 0.87, 0.97, 1, 0.97, 0.87, 0.71, 0.5, 0.26,
+		0, -0.26, -0.5, -0.71, -0.87, -0.97, -1, -0.97, -0.87, -0.71, -0.5, -0.26}
+	return table[h%24]
+}
+
+// GenerateFitting draws applications until the total CPU demand fits
+// within budget cores (at most 200 attempts), so placement is feasible on
+// the tenant's VMs. The paper sizes workloads to its ten 4-core machines
+// the same way.
+func GenerateFitting(rng *rand.Rand, cfg Config, budget float64) (*profile.Application, error) {
+	for attempt := 0; attempt < 200; attempt++ {
+		app, err := Generate(rng, cfg)
+		if err != nil {
+			return nil, err
+		}
+		total := 0.0
+		for _, c := range app.CPU {
+			total += c
+		}
+		if total <= budget {
+			return app, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: could not fit an application within %.1f cores", budget)
+}

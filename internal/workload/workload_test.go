@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"choreo/internal/profile"
+	"choreo/internal/units"
+)
+
+func TestGenerateValidApps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := Default()
+	for trial := 0; trial < 200; trial++ {
+		app, err := Generate(rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if app.Tasks() < cfg.MinTasks || app.Tasks() > cfg.MaxTasks {
+			t.Fatalf("trial %d: %d tasks outside [%d,%d]", trial, app.Tasks(), cfg.MinTasks, cfg.MaxTasks)
+		}
+		if app.TM.Total() <= 0 {
+			t.Fatalf("trial %d: empty traffic matrix", trial)
+		}
+		for _, c := range app.CPU {
+			if c < 0.5 || c > 4 {
+				t.Fatalf("trial %d: cpu %v outside [0.5,4]", trial, c)
+			}
+		}
+	}
+}
+
+func TestGenerateEachPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range []Pattern{Shuffle, ScatterGather, Pipeline, Uniform, Skewed} {
+		cfg := Default()
+		cfg.Patterns = []Pattern{p}
+		app, err := Generate(rng, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if app.TM.Total() == 0 {
+			t.Errorf("%v: no traffic", p)
+		}
+	}
+}
+
+func TestPatternShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+
+	// Pipeline: transfers only between consecutive stages.
+	cfg := Default()
+	cfg.Patterns = []Pattern{Pipeline}
+	app, err := Generate(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range app.TM.Transfers() {
+		if tr.To != tr.From+1 {
+			t.Errorf("pipeline transfer %d->%d is not a chain edge", tr.From, tr.To)
+		}
+	}
+
+	// ScatterGather: every transfer touches task 0.
+	cfg.Patterns = []Pattern{ScatterGather}
+	app, err = Generate(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range app.TM.Transfers() {
+		if tr.From != 0 && tr.To != 0 {
+			t.Errorf("scatter-gather transfer %d->%d skips the coordinator", tr.From, tr.To)
+		}
+	}
+
+	// Uniform: max/min ratio bounded (near-equal sizes).
+	cfg.Patterns = []Pattern{Uniform}
+	app, err = Generate(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := app.TM.Transfers()
+	maxB, minB := trs[0].Bytes, trs[len(trs)-1].Bytes
+	if float64(maxB)/float64(minB) > 1.5 {
+		t.Errorf("uniform spread too wide: %v vs %v", maxB, minB)
+	}
+}
+
+func TestGenerateSequenceOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	apps, err := GenerateSequence(rng, Default(), 10, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 10 {
+		t.Fatalf("got %d apps", len(apps))
+	}
+	if apps[0].Start != 0 {
+		t.Errorf("first app starts at %v", apps[0].Start)
+	}
+	for i := 1; i < len(apps); i++ {
+		if apps[i].Start < apps[i-1].Start {
+			t.Errorf("sequence not ordered at %d", i)
+		}
+	}
+	if _, err := GenerateSequence(rng, Default(), 0, time.Minute); err == nil {
+		t.Error("zero count should fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bad := Config{MinTasks: 1, MaxTasks: 3, MeanBytes: units.Megabyte}
+	if _, err := Generate(rng, bad); err == nil {
+		t.Error("MinTasks 1 should fail")
+	}
+	bad2 := Config{MinTasks: 4, MaxTasks: 3, MeanBytes: units.Megabyte}
+	if _, err := Generate(rng, bad2); err == nil {
+		t.Error("MaxTasks < MinTasks should fail")
+	}
+	bad3 := Config{MinTasks: 2, MaxTasks: 3}
+	if _, err := Generate(rng, bad3); err == nil {
+		t.Error("zero MeanBytes should fail")
+	}
+}
+
+func TestHourlyTracePredictable(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := HourlyTrace(rng, 21*24, 1e9, 0.4, 0.05)
+	if len(s) != 21*24 {
+		t.Fatalf("length = %d", len(s))
+	}
+	for h, v := range s {
+		if v < 0 {
+			t.Fatalf("hour %d negative: %v", h, v)
+		}
+	}
+	// Both paper predictors should do well on this trace.
+	for _, p := range []profile.Predictor{profile.PrevHour{}, profile.TimeOfDay{}} {
+		ev, err := profile.Evaluate(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Errors.Median > 0.25 {
+			t.Errorf("%s median error %.3f too high", p.Name(), ev.Errors.Median)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	names := map[Pattern]string{
+		Shuffle: "shuffle", ScatterGather: "scatter-gather", Pipeline: "pipeline",
+		Uniform: "uniform", Skewed: "skewed", Pattern(9): "pattern(9)",
+	}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
