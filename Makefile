@@ -1,0 +1,43 @@
+# CI runs exactly these targets (see .github/workflows/ci.yml), so a
+# green `make lint test bench sweep-smoke` locally means a green CI.
+
+GO  ?= go
+BIN ?= bin
+
+.PHONY: all build test bench lint sweep-smoke clean
+
+all: build
+
+build:
+	$(GO) build ./...
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/choreo ./cmd/choreo
+	$(GO) build -o $(BIN)/choreo-bench ./cmd/choreo-bench
+	$(GO) build -o $(BIN)/choreo-agent ./cmd/choreo-agent
+
+test:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark plus the paper reproduction at quick
+# scale: catches perf-path regressions without CI-scale runtimes.
+bench: build
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(BIN)/choreo-bench -quick
+
+lint:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+# The sweep engine's acceptance check: the default 24-scenario grid must
+# produce byte-identical JSON on 1 worker and on 8.
+sweep-smoke: build
+	$(BIN)/choreo sweep -workers 1 -out $(BIN)/sweep-w1.json
+	$(BIN)/choreo sweep -workers 8 -out $(BIN)/sweep-w8.json
+	cmp $(BIN)/sweep-w1.json $(BIN)/sweep-w8.json
+	@echo "sweep output is byte-identical across worker counts"
+
+clean:
+	rm -rf $(BIN)

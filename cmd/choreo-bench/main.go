@@ -1,5 +1,7 @@
 // Command choreo-bench regenerates every figure and in-text result of the
 // paper's evaluation, printing the same rows and series the paper reports.
+// Experiments are independent (each is a pure function of the seed), so
+// they run across a worker pool; output order is always paper order.
 //
 // Usage:
 //
@@ -8,23 +10,25 @@
 //	choreo-bench -run fig10a     # one experiment
 //	choreo-bench -list           # list experiment IDs
 //	choreo-bench -seed 7         # change the deterministic seed
+//	choreo-bench -workers 4      # worker pool size (default GOMAXPROCS)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"runtime"
 
 	"choreo/internal/experiments"
 )
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 42, "deterministic seed for all experiments")
-		quick = flag.Bool("quick", false, "reduced scale (fast smoke run)")
-		run   = flag.String("run", "", "run only the experiment with this ID")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		seed    = flag.Int64("seed", 42, "deterministic seed for all experiments")
+		quick   = flag.Bool("quick", false, "reduced scale (fast smoke run)")
+		run     = flag.String("run", "", "run only the experiment with this ID")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -40,19 +44,25 @@ func main() {
 	if *run != "" {
 		n, ok := experiments.Find(*run)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "choreo-bench: unknown experiment %q (try -list)\n", *run)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "choreo-bench: unknown experiment %q; valid IDs:\n", *run)
+			for _, n := range experiments.All() {
+				fmt.Fprintf(os.Stderr, "  %-16s %s\n", n.ID, n.Title)
+			}
+			os.Exit(2)
 		}
 		selected = []experiments.Named{n}
 	}
 
-	for _, n := range selected {
-		start := time.Now()
-		res, err := n.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "choreo-bench: %s: %v\n", n.ID, err)
-			os.Exit(1)
+	failed := false
+	for _, o := range experiments.RunAll(cfg, selected, *workers) {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "choreo-bench: %s: %v\n", o.ID, o.Err)
+			failed = true
+			continue
 		}
-		fmt.Printf("# %s (%s, %.1fs)\n%s\n", n.ID, n.Title, time.Since(start).Seconds(), res)
+		fmt.Printf("# %s (%s, %.1fs)\n%s\n", o.ID, o.Title, o.Elapsed.Seconds(), o.Result)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

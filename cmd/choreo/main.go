@@ -17,6 +17,12 @@
 //	choreo place -machines 4 -rates rates.json -app app.json [-model hose]
 //	    offline placement: read a measured rate matrix and an application
 //	    profile from JSON, print the task→machine assignment.
+//
+//	choreo sweep -topologies ec2-2013,rackspace -workloads shuffle,uniform \
+//	       -algorithms choreo,random,round-robin -seeds 2 -workers 8
+//	    expand and run a scenario grid (topology × workload × algorithm ×
+//	    seed) across a worker pool; write a deterministic JSON report
+//	    (byte-identical for any -workers value) and an optional CSV.
 package main
 
 import (
@@ -49,6 +55,8 @@ func main() {
 		err = runMeasure(os.Args[2:])
 	case "place":
 		err = runPlace(os.Args[2:])
+	case "sweep":
+		err = runSweep(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -63,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: choreo <simulate|measure|place> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: choreo <simulate|measure|place|sweep> [flags]")
 }
 
 func profileByName(name string) (choreo.Profile, error) {

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"choreo/internal/place"
+	"choreo/internal/sweep"
+	"choreo/internal/units"
+	"choreo/internal/workload"
+)
+
+// runSweep expands and executes a scenario grid across a worker pool.
+//
+// The JSON report is deterministic: the same flags and seeds produce
+// byte-identical output regardless of -workers (CI diffs -workers 1
+// against -workers 8 to enforce exactly that).
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	topologies := fs.String("topologies", "ec2-2013,rackspace", "comma-separated provider profiles (see -list)")
+	workloads := fs.String("workloads", "shuffle,uniform", "comma-separated workload presets (see -list)")
+	algorithms := fs.String("algorithms", "choreo,random,round-robin", "comma-separated placement algorithms (see -list)")
+	seedSpec := fs.String("seeds", "2", "seed count (from -seed) or explicit comma list")
+	baseSeed := fs.Int64("seed", 1, "base seed when -seeds is a count")
+	vms := fs.Int("vms", 8, "tenant VMs per scenario")
+	apps := fs.Int("apps", 0, "applications combined per scenario (0 = one generated app, or the whole trace)")
+	minTasks := fs.Int("min-tasks", 4, "minimum tasks per generated application")
+	maxTasks := fs.Int("max-tasks", 6, "maximum tasks per generated application")
+	meanMB := fs.Float64("mean-mb", 200, "mean transfer size in MB for generated workloads")
+	model := fs.String("model", "hose", "rate model: hose or pipe")
+	tracePath := fs.String("trace", "", "JSON trace file to replay as an extra workload")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (0 = GOMAXPROCS)")
+	optMaxTasks := fs.Int("optimal-max-tasks", 6, "compute the slowdown-vs-optimal reference up to this many tasks (0 disables)")
+	timing := fs.Bool("timing", false, "add wall-clock placement-latency aggregates (nondeterministic)")
+	outPath := fs.String("out", "-", "JSON report destination ('-' = stdout)")
+	csvPath := fs.String("csv", "", "also write a per-scenario CSV report here")
+	list := fs.Bool("list", false, "list valid topologies, workloads and algorithms, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Printf("topologies: %s\n", strings.Join(sweep.TopologyNames(), ", "))
+		fmt.Printf("workloads:  %s (or -trace file.json)\n", strings.Join(sweep.WorkloadNames(), ", "))
+		fmt.Printf("algorithms: %s\n", strings.Join(sweep.AlgorithmNames(), ", "))
+		return nil
+	}
+
+	g := sweep.Grid{
+		VMs:             *vms,
+		Apps:            *apps,
+		MinTasks:        *minTasks,
+		MaxTasks:        *maxTasks,
+		MeanBytes:       units.ByteSize(*meanMB * 1e6),
+		OptimalMaxTasks: *optMaxTasks,
+		Timing:          *timing,
+	}
+	switch *model {
+	case "hose":
+		g.Model = place.Hose
+	case "pipe":
+		g.Model = place.Pipe
+	default:
+		return fmt.Errorf("unknown -model %q (hose or pipe)", *model)
+	}
+	for _, name := range splitList(*topologies) {
+		tp, err := sweep.TopologyByName(name)
+		if err != nil {
+			return err
+		}
+		g.Topologies = append(g.Topologies, tp)
+	}
+	for _, name := range splitList(*workloads) {
+		wl, err := sweep.WorkloadByName(name)
+		if err != nil {
+			return err
+		}
+		g.Workloads = append(g.Workloads, wl)
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		tr, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *tracePath, err)
+		}
+		g.Workloads = append(g.Workloads, sweep.TraceWorkload(tr))
+	}
+	for _, name := range splitList(*algorithms) {
+		alg, err := sweep.AlgorithmByName(name)
+		if err != nil {
+			return err
+		}
+		g.Algorithms = append(g.Algorithms, alg)
+	}
+	seeds, err := sweep.ParseSeeds(*seedSpec, *baseSeed)
+	if err != nil {
+		return err
+	}
+	g.Seeds = seeds
+
+	rep, err := sweep.Run(g, *workers)
+	if err != nil {
+		return err
+	}
+
+	if *outPath == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		// A failed close can lose buffered report bytes; surface it.
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	// Human summary on stderr so stdout stays machine-parseable.
+	fmt.Fprint(os.Stderr, rep.String())
+	return nil
+}
+
+// splitList splits a comma list, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

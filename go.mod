@@ -1,0 +1,3 @@
+module choreo
+
+go 1.24

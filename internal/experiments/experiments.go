@@ -2,7 +2,9 @@
 // result of the paper's evaluation. Each experiment is a pure function of
 // a Config (seed + scale), returns a typed result whose String method
 // prints the same rows/series the paper plots, and is wrapped both by
-// cmd/choreo-bench and by the root bench_test.go benchmarks.
+// cmd/choreo-bench and by the root bench_test.go benchmarks. Because
+// experiments are independent, RunAll executes them across the sweep
+// engine's worker pool (internal/sweep) with outcomes in paper order.
 //
 // DESIGN.md's per-experiment index maps each function here to its paper
 // artifact; EXPERIMENTS.md records paper-vs-measured values.

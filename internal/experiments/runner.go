@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"choreo/internal/sweep"
+)
+
+// Outcome is one experiment's execution record.
+type Outcome struct {
+	Named
+	// Result is the experiment's printable result; nil when Err is set.
+	Result fmt.Stringer
+	// Err is the experiment's failure, if any.
+	Err error
+	// Elapsed is the experiment's wall-clock running time.
+	Elapsed time.Duration
+}
+
+// RunAll executes the selected experiments across the sweep engine's
+// worker pool. Every experiment is a pure function of cfg, so they
+// parallelize freely; outcomes come back in input order regardless of
+// worker count or scheduling. Failed experiments carry their error in
+// the outcome rather than aborting the batch, so one broken figure does
+// not hide the rest.
+func RunAll(cfg Config, selected []Named, workers int) []Outcome {
+	outcomes := make([]Outcome, len(selected))
+	// Parallel never returns an error here: failures are recorded per
+	// outcome instead.
+	_ = sweep.Parallel(len(selected), workers, func(i int) error {
+		start := time.Now()
+		res, err := selected[i].Run(cfg)
+		outcomes[i] = Outcome{
+			Named:   selected[i],
+			Result:  res,
+			Err:     err,
+			Elapsed: time.Since(start),
+		}
+		return nil
+	})
+	return outcomes
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type fakeResult string
+
+func (f fakeResult) String() string { return string(f) }
+
+func TestRunAllPreservesOrderAndIsolatesFailures(t *testing.T) {
+	boom := errors.New("boom")
+	var selected []Named
+	for i := 0; i < 9; i++ {
+		i := i
+		selected = append(selected, Named{
+			ID:    fmt.Sprintf("exp%d", i),
+			Title: fmt.Sprintf("experiment %d", i),
+			Run: func(Config) (fmt.Stringer, error) {
+				if i == 4 {
+					return nil, boom
+				}
+				return fakeResult(fmt.Sprintf("result %d", i)), nil
+			},
+		})
+	}
+	for _, workers := range []int{1, 4} {
+		outcomes := RunAll(quickCfg(), selected, workers)
+		if len(outcomes) != len(selected) {
+			t.Fatalf("workers=%d: got %d outcomes", workers, len(outcomes))
+		}
+		for i, o := range outcomes {
+			if o.ID != selected[i].ID {
+				t.Errorf("workers=%d: outcome %d is %s, want %s", workers, i, o.ID, selected[i].ID)
+			}
+			if i == 4 {
+				if o.Err != boom || o.Result != nil {
+					t.Errorf("workers=%d: failing experiment: err=%v result=%v", workers, o.Err, o.Result)
+				}
+				continue
+			}
+			if o.Err != nil {
+				t.Errorf("workers=%d: outcome %d failed: %v", workers, i, o.Err)
+			}
+			if want := fmt.Sprintf("result %d", i); o.Result.String() != want {
+				t.Errorf("workers=%d: outcome %d = %q, want %q", workers, i, o.Result, want)
+			}
+		}
+	}
+}
+
+// TestRunAllMatchesSequentialRuns runs two real (cheap) experiments
+// through the pool and checks the printed results match direct calls:
+// parallel execution must not change any experiment's output.
+func TestRunAllMatchesSequentialRuns(t *testing.T) {
+	var selected []Named
+	for _, id := range []string{"fig9", "text-hose"} {
+		n, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		selected = append(selected, n)
+	}
+	outcomes := RunAll(quickCfg(), selected, 2)
+	for i, n := range selected {
+		direct, err := n.Run(quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcomes[i].Err != nil {
+			t.Fatalf("%s: %v", n.ID, outcomes[i].Err)
+		}
+		if got, want := outcomes[i].Result.String(), direct.String(); got != want {
+			t.Errorf("%s: pooled output differs from direct run:\n%s\nvs\n%s", n.ID, got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,13 @@ import (
 	"choreo/internal/profile"
 	"choreo/internal/units"
 )
+
+// ErrSearchBudget marks an Optimal search that exceeded its node budget.
+// Callers that fall back to a heuristic on budget exhaustion (e.g. the
+// sweep engine's slowdown reference) match it with errors.Is, so genuine
+// failures — an invalid environment, an infeasible application — still
+// propagate instead of being silently absorbed.
+var ErrSearchBudget = errors.New("place: optimal search exceeded node budget")
 
 // Optimal finds the completion-time-optimal placement by branch and bound
 // over task→machine assignments. It is exact and practical for the sizes
@@ -94,7 +102,7 @@ func Optimal(app *profile.Application, env *Environment, model Model, maxNodes i
 		}
 		nodes++
 		if nodes > maxNodes {
-			budgetErr = fmt.Errorf("place: optimal search exceeded %d nodes", maxNodes)
+			budgetErr = fmt.Errorf("%w (%d nodes)", ErrSearchBudget, maxNodes)
 			return
 		}
 		task := order[depth]

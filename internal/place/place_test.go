@@ -1,6 +1,7 @@
 package place
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -378,8 +379,14 @@ func TestModelString(t *testing.T) {
 func TestOptimalNodeBudget(t *testing.T) {
 	env := uniformEnv(6, units.Gbps(1), 4)
 	app := randomApp(rand.New(rand.NewSource(3)), 8)
-	if _, err := Optimal(app, env, Pipe, 5); err == nil {
-		t.Error("tiny node budget should fail")
+	_, err := Optimal(app, env, Pipe, 5)
+	if err == nil {
+		t.Fatal("tiny node budget should fail")
+	}
+	// Budget exhaustion must be distinguishable from real failures so
+	// callers can fall back to heuristics only in the former case.
+	if !errors.Is(err, ErrSearchBudget) {
+		t.Errorf("budget error %v does not match ErrSearchBudget", err)
 	}
 }
 

@@ -1,0 +1,344 @@
+// Package sweep expands a declarative grid of placement scenarios —
+// topology × workload × algorithm × seed — and runs every cell across a
+// worker pool, aggregating completion time, slowdown versus the exact
+// optimum and placement latency into deterministic JSON/CSV reports.
+//
+// Determinism is the load-bearing property: every scenario derives all of
+// its randomness from the grid seed and the cell's coordinates, runs in
+// isolation on its own simulated cloud, and lands in the report at its
+// expansion index. The same grid therefore produces byte-identical JSON
+// whether it runs on one worker or on GOMAXPROCS workers.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"choreo/internal/core"
+	"choreo/internal/place"
+	"choreo/internal/topology"
+	"choreo/internal/units"
+	"choreo/internal/workload"
+)
+
+// Topology is one named provider profile in the grid.
+type Topology struct {
+	Name    string
+	Profile topology.Profile
+}
+
+// TopologyNames lists the profiles TopologyByName accepts.
+func TopologyNames() []string {
+	return []string{"ec2-2013", "ec2-2012", "rackspace", "private", "dumbbell", "tworack"}
+}
+
+// TopologyByName resolves a provider profile: the paper's measured
+// VM-pair clouds (ec2-2013, ec2-2012, rackspace, private) and the ns-2
+// tree fabrics (dumbbell, tworack).
+func TopologyByName(name string) (Topology, error) {
+	switch name {
+	case "ec2-2013", "ec2":
+		return Topology{Name: "ec2-2013", Profile: topology.EC22013()}, nil
+	case "ec2-2012":
+		return Topology{Name: "ec2-2012", Profile: topology.EC22012(0)}, nil
+	case "rackspace":
+		return Topology{Name: "rackspace", Profile: topology.Rackspace()}, nil
+	case "private":
+		return Topology{Name: "private", Profile: topology.PrivateCloud()}, nil
+	case "dumbbell":
+		return Topology{Name: "dumbbell", Profile: topology.Dumbbell(8, units.Gbps(1), units.Gbps(1))}, nil
+	case "tworack":
+		return Topology{Name: "tworack", Profile: topology.TwoRack(8, units.Gbps(1), units.Gbps(10))}, nil
+	}
+	return Topology{}, fmt.Errorf("sweep: unknown topology %q (valid: %s)",
+		name, strings.Join(TopologyNames(), ", "))
+}
+
+// Workload is one named application source in the grid: either a
+// generator restricted to a communication pattern, or a recorded trace.
+type Workload struct {
+	Name string
+	// Patterns restricts the generator; empty means the full mix.
+	Patterns []workload.Pattern
+	// Trace, when non-nil, replays recorded applications instead of
+	// generating them.
+	Trace *workload.Trace
+}
+
+// WorkloadNames lists the generator presets WorkloadByName accepts.
+func WorkloadNames() []string { return workload.PresetNames() }
+
+// WorkloadByName resolves a generator preset: "mixed" draws from every
+// pattern, the others pin one communication shape.
+func WorkloadByName(name string) (Workload, error) {
+	patterns, ok := workload.PresetPatterns(name)
+	if !ok {
+		return Workload{}, fmt.Errorf("sweep: unknown workload %q (valid: %s, or a trace)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+	return Workload{Name: name, Patterns: patterns}, nil
+}
+
+// TraceWorkload wraps a recorded trace as a grid workload.
+func TraceWorkload(tr *workload.Trace) Workload {
+	name := tr.Name
+	if name == "" {
+		name = "trace"
+	}
+	return Workload{Name: "trace:" + name, Trace: tr}
+}
+
+// Algorithm is one placement policy in the grid.
+type Algorithm struct {
+	Name string
+	// Core is the orchestrator algorithm; ignored when ILP is set.
+	Core core.Algorithm
+	// ILP selects the paper's Appendix integer program instead of a
+	// core algorithm.
+	ILP bool
+}
+
+// AlgorithmNames lists the policies AlgorithmByName accepts.
+func AlgorithmNames() []string {
+	return []string{"choreo", "random", "round-robin", "min-machines", "optimal", "ilp"}
+}
+
+// AlgorithmByName resolves a placement policy.
+func AlgorithmByName(name string) (Algorithm, error) {
+	switch name {
+	case "choreo", "greedy":
+		return Algorithm{Name: "choreo", Core: core.AlgChoreo}, nil
+	case "random":
+		return Algorithm{Name: "random", Core: core.AlgRandom}, nil
+	case "round-robin", "roundrobin":
+		return Algorithm{Name: "round-robin", Core: core.AlgRoundRobin}, nil
+	case "min-machines", "minmachines":
+		return Algorithm{Name: "min-machines", Core: core.AlgMinMachines}, nil
+	case "optimal":
+		return Algorithm{Name: "optimal", Core: core.AlgOptimal}, nil
+	case "ilp":
+		return Algorithm{Name: "ilp", ILP: true}, nil
+	}
+	return Algorithm{}, fmt.Errorf("sweep: unknown algorithm %q (valid: %s)",
+		name, strings.Join(AlgorithmNames(), ", "))
+}
+
+// Grid declares a sweep: the cross product of every dimension plus the
+// per-scenario knobs shared by all cells.
+type Grid struct {
+	Topologies []Topology
+	Workloads  []Workload
+	Algorithms []Algorithm
+	// Seeds holds the grid seeds; each contributes one full cross
+	// product of scenarios.
+	Seeds []int64
+
+	// VMs is the tenant allocation per scenario (default 8).
+	VMs int
+	// Apps is how many applications are combined into one placement
+	// problem per scenario. 0 means the default: one generated
+	// application, or the whole trace for trace workloads.
+	Apps int
+	// MinTasks/MaxTasks bound generated application sizes
+	// (defaults 4 and 6, small enough for the exact optimum).
+	MinTasks, MaxTasks int
+	// MeanBytes scales generated transfers (default 200 MB).
+	MeanBytes units.ByteSize
+	// Model is the rate model for greedy/optimal placement. The zero
+	// value is the pipe model; Default() and `choreo sweep` use hose.
+	Model place.Model
+
+	// OptimalMaxTasks bounds the slowdown-vs-optimal reference: the
+	// exact branch-and-bound optimum is computed only for applications
+	// of at most this many tasks (0 disables the reference entirely).
+	OptimalMaxTasks int
+	// OptimalMaxNodes caps branch-and-bound (and ILP) search nodes;
+	// 0 means the solvers' generous defaults.
+	OptimalMaxNodes int
+	// Timing adds wall-clock placement-latency aggregates to the
+	// report. They are real measurements, hence nondeterministic, so
+	// they are off by default to keep reports byte-reproducible.
+	Timing bool
+}
+
+// Default returns the stock grid used by `choreo sweep`: 2 topologies ×
+// 2 workloads × 3 algorithms × 2 seeds = 24 scenarios.
+func Default() Grid {
+	g := Grid{Seeds: []int64{1, 2}, Model: place.Hose}
+	for _, t := range []string{"ec2-2013", "rackspace"} {
+		tp, _ := TopologyByName(t)
+		g.Topologies = append(g.Topologies, tp)
+	}
+	for _, w := range []string{"shuffle", "uniform"} {
+		wl, _ := WorkloadByName(w)
+		g.Workloads = append(g.Workloads, wl)
+	}
+	for _, a := range []string{"choreo", "random", "round-robin"} {
+		alg, _ := AlgorithmByName(a)
+		g.Algorithms = append(g.Algorithms, alg)
+	}
+	g.applyDefaults()
+	return g
+}
+
+// applyDefaults fills zero-valued knobs.
+func (g *Grid) applyDefaults() {
+	if g.VMs == 0 {
+		g.VMs = 8
+	}
+	if g.MinTasks == 0 {
+		g.MinTasks = 4
+	}
+	if g.MaxTasks == 0 {
+		g.MaxTasks = 6
+	}
+	if g.MeanBytes == 0 {
+		g.MeanBytes = workload.Default().MeanBytes
+	}
+	if g.OptimalMaxTasks == 0 {
+		g.OptimalMaxTasks = 6
+	}
+}
+
+// Validate checks the grid is runnable.
+func (g *Grid) Validate() error {
+	if len(g.Topologies) == 0 {
+		return fmt.Errorf("sweep: grid has no topologies")
+	}
+	if len(g.Workloads) == 0 {
+		return fmt.Errorf("sweep: grid has no workloads")
+	}
+	if len(g.Algorithms) == 0 {
+		return fmt.Errorf("sweep: grid has no algorithms")
+	}
+	if len(g.Seeds) == 0 {
+		return fmt.Errorf("sweep: grid has no seeds")
+	}
+	if g.VMs < 2 {
+		return fmt.Errorf("sweep: need at least 2 VMs, got %d", g.VMs)
+	}
+	if g.MinTasks < 2 || g.MaxTasks < g.MinTasks {
+		return fmt.Errorf("sweep: invalid task bounds [%d, %d]", g.MinTasks, g.MaxTasks)
+	}
+	seen := map[string]bool{}
+	for _, w := range g.Workloads {
+		if w.Trace == nil && w.Name != "mixed" && len(w.Patterns) == 0 {
+			return fmt.Errorf("sweep: workload %q has neither patterns nor a trace", w.Name)
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("sweep: duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+	return nil
+}
+
+// Scenario is one expanded grid cell.
+type Scenario struct {
+	// Index is the cell's position in expansion order; results land at
+	// this index regardless of which worker runs the cell.
+	Index     int
+	Topology  Topology
+	Workload  Workload
+	Algorithm Algorithm
+	Seed      int64
+}
+
+// Expand enumerates the cross product in a fixed order: topology,
+// workload, algorithm, seed — the outermost dimension varying slowest.
+func (g *Grid) Expand() ([]Scenario, error) {
+	g.applyDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Scenario
+	for _, tp := range g.Topologies {
+		for _, wl := range g.Workloads {
+			for _, alg := range g.Algorithms {
+				for _, seed := range g.Seeds {
+					out = append(out, Scenario{
+						Index:     len(out),
+						Topology:  tp,
+						Workload:  wl,
+						Algorithm: alg,
+						Seed:      seed,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// cloudSeed derives the deterministic per-cell seed. It covers topology,
+// workload and grid seed but not the algorithm, so every algorithm in a
+// cell group faces the identical cloud and application — the comparison
+// the paper's Figure 10 makes.
+func (sc Scenario) cloudSeed() int64 {
+	const offset64, prime64 = 1469598103934665603, 1099511628211
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator so "ab"+"c" != "a"+"bc"
+		h *= prime64
+	}
+	mix(sc.Topology.Name)
+	mix(sc.Workload.Name)
+	// Fold the seed in bytewise for the same avalanche behaviour.
+	s := sc.Seed
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(s >> (8 * i)))
+		h *= prime64
+	}
+	// Keep it positive and well away from zero for rand.NewSource.
+	return int64(h&0x7fffffffffffffff) | 1
+}
+
+// sortedAlgorithmNames returns the distinct algorithm names in grid
+// order (the order aggregates are reported in).
+func (g *Grid) algorithmNames() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, a := range g.Algorithms {
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			names = append(names, a.Name)
+		}
+	}
+	return names
+}
+
+// ParseSeeds expands a CLI seed spec: either a count ("4" = seeds
+// 1..4 from base) or an explicit comma list ("3,7,11").
+func ParseSeeds(spec string, base int64) ([]int64, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("sweep: empty seed spec")
+	}
+	if !strings.Contains(spec, ",") {
+		n, err := strconv.Atoi(spec)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sweep: seed spec %q is neither a count nor a comma list", spec)
+		}
+		seeds := make([]int64, n)
+		for i := range seeds {
+			seeds[i] = base + int64(i)
+		}
+		return seeds, nil
+	}
+	var seeds []int64
+	for _, part := range strings.Split(spec, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad seed %q in %q", part, spec)
+		}
+		seeds = append(seeds, s)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	return seeds, nil
+}

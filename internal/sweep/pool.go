@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel runs fn(i) for every i in [0, n) across a pool of worker
+// goroutines. Workers pull indices from a shared queue, so callers that
+// write results into a pre-sized slice at index i get output that is
+// independent of scheduling order and of the worker count — the property
+// the sweep engine's determinism guarantee rests on.
+//
+// workers <= 0 means runtime.GOMAXPROCS(0). Every index runs even if an
+// earlier one fails; the error for the smallest failing index is
+// returned, again so the outcome does not depend on scheduling.
+func Parallel(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	indices := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

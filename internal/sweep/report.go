@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"choreo/internal/stats"
+)
+
+// Aggregate summarizes one algorithm across every scenario it ran in.
+type Aggregate struct {
+	Algorithm string `json:"algorithm"`
+	// Scenarios is how many grid cells this algorithm ran.
+	Scenarios int `json:"scenarios"`
+	// Completion summarizes completion times in seconds.
+	Completion stats.Summary `json:"completionSeconds"`
+	// Slowdown summarizes slowdown vs the exact optimum, over the
+	// scenarios where the optimum was computable (nil when none were).
+	Slowdown *stats.Summary `json:"slowdown,omitempty"`
+	// PlaceLatency summarizes wall-clock placement latency in seconds.
+	// Nondeterministic; populated only when the grid's Timing knob is
+	// on, so default reports stay byte-reproducible.
+	PlaceLatency *stats.Summary `json:"placementLatencySeconds,omitempty"`
+
+	// latency retains the raw wall-clock summary for String() even
+	// when Timing keeps it out of the JSON encoding.
+	latency stats.Summary
+}
+
+// Report is the deterministic output of a sweep run.
+type Report struct {
+	// Grid echoes the swept dimensions.
+	Grid GridSummary `json:"grid"`
+	// Scenarios holds every cell's result in expansion order.
+	Scenarios []Result `json:"scenarios"`
+	// Algorithms holds per-algorithm aggregates in grid order.
+	Algorithms []Aggregate `json:"algorithms"`
+}
+
+// GridSummary is the serializable echo of a Grid.
+type GridSummary struct {
+	Topologies []string `json:"topologies"`
+	Workloads  []string `json:"workloads"`
+	Algorithms []string `json:"algorithms"`
+	Seeds      []int64  `json:"seeds"`
+	VMs        int      `json:"vms"`
+	Apps       int      `json:"apps"`
+	Scenarios  int      `json:"scenarios"`
+}
+
+// newReport assembles aggregates from per-scenario results.
+func newReport(g *Grid, results []Result) (*Report, error) {
+	sum := GridSummary{
+		Seeds:     append([]int64(nil), g.Seeds...),
+		VMs:       g.VMs,
+		Apps:      g.Apps,
+		Scenarios: len(results),
+	}
+	for _, t := range g.Topologies {
+		sum.Topologies = append(sum.Topologies, t.Name)
+	}
+	for _, w := range g.Workloads {
+		sum.Workloads = append(sum.Workloads, w.Name)
+	}
+	sum.Algorithms = g.algorithmNames()
+
+	rep := &Report{Grid: sum, Scenarios: results}
+	for _, name := range sum.Algorithms {
+		var completions, slowdowns, latencies []float64
+		for _, r := range results {
+			if r.Algorithm != name {
+				continue
+			}
+			completions = append(completions, r.CompletionSeconds)
+			latencies = append(latencies, r.PlaceLatency.Seconds())
+			if r.Slowdown != nil {
+				slowdowns = append(slowdowns, *r.Slowdown)
+			}
+		}
+		if len(completions) == 0 {
+			continue
+		}
+		agg := Aggregate{Algorithm: name, Scenarios: len(completions)}
+		var err error
+		if agg.Completion, err = stats.Summarize(completions); err != nil {
+			return nil, err
+		}
+		if agg.latency, err = stats.Summarize(latencies); err != nil {
+			return nil, err
+		}
+		if len(slowdowns) > 0 {
+			s, err := stats.Summarize(slowdowns)
+			if err != nil {
+				return nil, err
+			}
+			agg.Slowdown = &s
+		}
+		if g.Timing {
+			lat := agg.latency
+			agg.PlaceLatency = &lat
+		}
+		rep.Algorithms = append(rep.Algorithms, agg)
+	}
+	return rep, nil
+}
+
+// WriteJSON encodes the report as indented JSON. The encoding is
+// byte-identical for identical grids and seeds regardless of worker
+// count or host speed.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes one deterministic row per scenario.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"topology", "workload", "algorithm", "seed", "vms", "tasks",
+		"completion_seconds", "optimal_seconds", "slowdown",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	// fp renders an optional value; absent references render empty so
+	// "no reference" and "reference is zero" stay distinguishable.
+	fp := func(v *float64) string {
+		if v == nil {
+			return ""
+		}
+		return f(*v)
+	}
+	for _, s := range r.Scenarios {
+		row := []string{
+			s.Topology, s.Workload, s.Algorithm,
+			strconv.FormatInt(s.Seed, 10),
+			strconv.Itoa(s.VMs), strconv.Itoa(s.Tasks),
+			f(s.CompletionSeconds), fp(s.OptimalSeconds), fp(s.Slowdown),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the human-facing summary: one row per algorithm with
+// completion, slowdown and wall-clock placement latency.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d scenarios (%d topologies x %d workloads x %d algorithms x %d seeds)\n",
+		r.Grid.Scenarios, len(r.Grid.Topologies), len(r.Grid.Workloads),
+		len(r.Grid.Algorithms), len(r.Grid.Seeds))
+	fmt.Fprintf(&b, "%-14s %5s %14s %14s %12s %14s\n",
+		"algorithm", "n", "mean compl", "p95 compl", "mean slow", "mean place")
+	for _, a := range r.Algorithms {
+		slow := "-"
+		if a.Slowdown != nil {
+			slow = fmt.Sprintf("%.3fx", a.Slowdown.Mean)
+		}
+		fmt.Fprintf(&b, "%-14s %5d %13.2fs %13.2fs %12s %13.2fms\n",
+			a.Algorithm, a.Scenarios, a.Completion.Mean, a.Completion.P95,
+			slow, a.latency.Mean*1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"choreo/internal/core"
+	"choreo/internal/ilp"
+	"choreo/internal/netsim"
+	"choreo/internal/place"
+	"choreo/internal/profile"
+	"choreo/internal/topology"
+	"choreo/internal/workload"
+)
+
+// Result is one scenario's outcome. Every exported-and-serialized field
+// is a pure function of the grid and the seed; the wall-clock placement
+// latency is kept out of the JSON encoding so reports stay
+// byte-reproducible across runs and worker counts.
+type Result struct {
+	Topology  string `json:"topology"`
+	Workload  string `json:"workload"`
+	Algorithm string `json:"algorithm"`
+	Seed      int64  `json:"seed"`
+	VMs       int    `json:"vms"`
+	Tasks     int    `json:"tasks"`
+	// CompletionSeconds is the application's simulated completion time
+	// under this placement (§6.2's metric, measurement excluded).
+	CompletionSeconds float64 `json:"completionSeconds"`
+	// OptimalSeconds is the executed completion time of the exact
+	// branch-and-bound optimum (of the predicted objective) on the
+	// identical cloud. Nil (absent in JSON) when no reference was
+	// computed — the app was too large or the search budget ran out;
+	// a present 0 is a real value (the optimum fully colocates).
+	OptimalSeconds *float64 `json:"optimalSeconds,omitempty"`
+	// Slowdown is CompletionSeconds / OptimalSeconds. 1.0 means the
+	// scenario matched the optimum; values slightly below 1 are real
+	// (the reference minimizes predicted, not executed, time). Nil
+	// when no finite ratio exists: no reference was computed, or the
+	// reference is 0 s and the scenario's completion is not.
+	Slowdown *float64 `json:"slowdown,omitempty"`
+	// PlaceLatency is the wall-clock time the placement algorithm took.
+	// Deliberately excluded from JSON: see Grid.Timing.
+	PlaceLatency time.Duration `json:"-"`
+}
+
+// cell is one instantiated scenario environment: a fresh simulated
+// cloud, its measured rate matrix and the application to place.
+type cell struct {
+	orch *core.Choreo
+	env  *place.Environment
+	app  *profile.Application
+}
+
+// buildCell constructs the scenario's cloud and application from the
+// deterministic cell seed. Called once for the algorithm under test and,
+// when the optimal reference is enabled, a second time with the same
+// seed so the reference faces an identical cloud.
+func (g *Grid) buildCell(sc Scenario) (*cell, error) {
+	seed := sc.cloudSeed()
+
+	app, err := g.buildApplication(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	prov, err := topology.NewProvider(sc.Topology.Profile, seed)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", sc.Topology.Name, err)
+	}
+	vms, err := prov.AllocateVMs(g.VMs)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: allocating %d VMs: %w", sc.Topology.Name, g.VMs, err)
+	}
+	orch, err := core.New(netsim.New(prov), vms, rand.New(rand.NewSource(seed+1)), core.Options{Model: g.Model})
+	if err != nil {
+		return nil, err
+	}
+	env, err := orch.MeasureEnvironment()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: measuring %s: %w", sc.Topology.Name, err)
+	}
+	return &cell{orch: orch, env: env, app: app}, nil
+}
+
+// buildApplication draws (or replays) the scenario's placement problem.
+func (g *Grid) buildApplication(sc Scenario, seed int64) (*profile.Application, error) {
+	var apps []*profile.Application
+	if tr := sc.Workload.Trace; tr != nil {
+		all, err := tr.ToApplications()
+		if err != nil {
+			return nil, err
+		}
+		n := g.Apps
+		if n <= 0 || n > len(all) {
+			n = len(all)
+		}
+		apps = all[:n]
+	} else {
+		cfg := workload.Config{
+			MinTasks:  g.MinTasks,
+			MaxTasks:  g.MaxTasks,
+			MeanBytes: g.MeanBytes,
+			Patterns:  sc.Workload.Patterns,
+		}
+		n := g.Apps
+		if n <= 0 {
+			n = 1
+		}
+		// The workload rng is offset from the cloud rng so the two
+		// streams never alias.
+		rng := rand.New(rand.NewSource(seed + 2))
+		for i := 0; i < n; i++ {
+			app, err := workload.Generate(rng, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: generating %s: %w", sc.Workload.Name, err)
+			}
+			apps = append(apps, app)
+		}
+	}
+	if len(apps) == 1 {
+		return apps[0], nil
+	}
+	combined, _, err := profile.Combine(apps)
+	return combined, err
+}
+
+// place runs the scenario's placement policy against the measured cell.
+func (g *Grid) place(sc Scenario, c *cell) (place.Placement, error) {
+	if !sc.Algorithm.ILP {
+		return c.orch.Place(c.app, c.env, sc.Algorithm.Core)
+	}
+	in, err := placementInput(c.app, c.env)
+	if err != nil {
+		return place.Placement{}, err
+	}
+	prog, err := ilp.BuildPlacement(in)
+	if err != nil {
+		return place.Placement{}, err
+	}
+	sol, err := ilp.Solve(prog.Problem, g.OptimalMaxNodes)
+	if err != nil {
+		return place.Placement{}, fmt.Errorf("sweep: ilp: %w", err)
+	}
+	machineOf, err := prog.DecodeAssignment(sol)
+	if err != nil {
+		return place.Placement{}, fmt.Errorf("sweep: ilp: %w", err)
+	}
+	return place.Placement{MachineOf: machineOf}, nil
+}
+
+// placementInput converts a measured environment and application into
+// the Appendix program's data.
+func placementInput(app *profile.Application, env *place.Environment) (*ilp.PlacementInput, error) {
+	j, m := app.Tasks(), env.Machines()
+	in := &ilp.PlacementInput{
+		BytesB:    make([][]float64, j),
+		RateR:     make([][]float64, m),
+		CPUDemand: append([]float64(nil), app.CPU...),
+		CPUCap:    append([]float64(nil), env.CPUCap...),
+	}
+	for a := 0; a < j; a++ {
+		in.BytesB[a] = make([]float64, j)
+		for b := 0; b < j; b++ {
+			in.BytesB[a][b] = float64(app.TM.At(a, b))
+		}
+	}
+	for a := 0; a < m; a++ {
+		in.RateR[a] = make([]float64, m)
+		for b := 0; b < m; b++ {
+			in.RateR[a][b] = float64(env.Rates[a][b])
+		}
+	}
+	return in, nil
+}
+
+// runScenario executes one grid cell end to end.
+func (g *Grid) runScenario(sc Scenario) (Result, error) {
+	c, err := g.buildCell(sc)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	p, err := g.place(sc, c)
+	latency := time.Since(start)
+	if err != nil {
+		return Result{}, fmt.Errorf("sweep: placing %s/%s/%s seed %d: %w",
+			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
+	}
+	completion, err := c.orch.Execute(c.app, p)
+	if err != nil {
+		return Result{}, fmt.Errorf("sweep: executing %s/%s/%s seed %d: %w",
+			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
+	}
+
+	res := Result{
+		Topology:          sc.Topology.Name,
+		Workload:          sc.Workload.Name,
+		Algorithm:         sc.Algorithm.Name,
+		Seed:              sc.Seed,
+		VMs:               g.VMs,
+		Tasks:             c.app.Tasks(),
+		CompletionSeconds: completion.Seconds(),
+		PlaceLatency:      latency,
+	}
+
+	if g.OptimalMaxTasks > 0 && c.app.Tasks() <= g.OptimalMaxTasks {
+		opt, computed, err := g.optimalReference(sc, res.CompletionSeconds)
+		if err != nil {
+			return Result{}, err
+		}
+		if computed {
+			res.OptimalSeconds = &opt
+			switch {
+			case opt > 0:
+				ratio := res.CompletionSeconds / opt
+				res.Slowdown = &ratio
+			case res.CompletionSeconds == 0:
+				// Both placements execute instantly (fully colocated):
+				// a tie, not an undefined ratio.
+				one := 1.0
+				res.Slowdown = &one
+			}
+			// opt == 0 with a positive completion has no finite ratio;
+			// Slowdown stays nil.
+		}
+	}
+	return res, nil
+}
+
+// optimalReference computes the completion time of the exact optimum —
+// the placement minimizing the paper's *predicted* completion-time
+// objective — on a cloud rebuilt from the same seed, so every algorithm
+// in a cell group is compared against the identical reference. (Because
+// the reference optimizes the prediction, a heuristic can occasionally
+// execute faster than it; slowdowns slightly below 1 are genuine.)
+// Scenarios that ran the optimum themselves reuse their own completion.
+// The second return reports whether a reference was computed at all
+// (branch and bound can exhaust its node budget).
+func (g *Grid) optimalReference(sc Scenario, ownCompletion float64) (float64, bool, error) {
+	if sc.Algorithm.Core == core.AlgOptimal && !sc.Algorithm.ILP {
+		return ownCompletion, true, nil
+	}
+	c, err := g.buildCell(sc)
+	if err != nil {
+		return 0, false, err
+	}
+	p, err := place.Optimal(c.app, c.env, g.Model, g.OptimalMaxNodes)
+	if errors.Is(err, place.ErrSearchBudget) {
+		// The search ran out of nodes: report no reference rather than
+		// a wrong one. Any other failure is real and must surface.
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	completion, err := c.orch.Execute(c.app, p)
+	if err != nil {
+		return 0, false, err
+	}
+	return completion.Seconds(), true, nil
+}
+
+// Run expands the grid and executes every scenario across the worker
+// pool, collecting results by expansion index.
+func Run(g Grid, workers int) (*Report, error) {
+	scenarios, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(scenarios))
+	err = Parallel(len(scenarios), workers, func(i int) error {
+		r, err := g.runScenario(scenarios[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newReport(&g, results)
+}

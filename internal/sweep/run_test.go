@@ -1,0 +1,239 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenGrid is small enough for CI but still crosses every dimension:
+// 2 topologies x 2 workloads x 2 algorithms x 2 seeds = 16 scenarios.
+func goldenGrid() Grid {
+	g := Grid{Seeds: []int64{1, 2}, VMs: 4, MinTasks: 3, MaxTasks: 4}
+	for _, name := range []string{"tworack", "dumbbell"} {
+		tp, err := TopologyByName(name)
+		if err != nil {
+			panic(err)
+		}
+		g.Topologies = append(g.Topologies, tp)
+	}
+	for _, name := range []string{"skewed", "uniform"} {
+		wl, err := WorkloadByName(name)
+		if err != nil {
+			panic(err)
+		}
+		g.Workloads = append(g.Workloads, wl)
+	}
+	for _, name := range []string{"choreo", "round-robin"} {
+		alg, err := AlgorithmByName(name)
+		if err != nil {
+			panic(err)
+		}
+		g.Algorithms = append(g.Algorithms, alg)
+	}
+	return g
+}
+
+func reportJSON(t *testing.T, g Grid, workers int) []byte {
+	t.Helper()
+	rep, err := Run(g, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterministicAcrossWorkerCounts is the engine's core guarantee:
+// the same grid and seeds produce byte-identical JSON whether scenarios
+// run sequentially or spread over eight workers. Under -race this also
+// shakes out data races in the pool.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := goldenGrid()
+	sequential := reportJSON(t, g, 1)
+	for _, workers := range []int{2, 8} {
+		parallel := reportJSON(t, goldenGrid(), workers)
+		if !bytes.Equal(sequential, parallel) {
+			t.Fatalf("report differs between -workers 1 and -workers %d", workers)
+		}
+	}
+}
+
+func TestGoldenJSONReport(t *testing.T) {
+	got := reportJSON(t, goldenGrid(), 4)
+	path := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/sweep -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report deviates from testdata/golden.json; if the change is intended, regenerate with -update\ngot:\n%s", got)
+	}
+}
+
+func TestReportShapeAndAggregates(t *testing.T) {
+	g := goldenGrid()
+	rep, err := Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grid.Scenarios != 16 || len(rep.Scenarios) != 16 {
+		t.Fatalf("got %d scenarios, want 16", len(rep.Scenarios))
+	}
+	if len(rep.Algorithms) != 2 {
+		t.Fatalf("got %d aggregates, want 2", len(rep.Algorithms))
+	}
+	for _, a := range rep.Algorithms {
+		if a.Scenarios != 8 {
+			t.Errorf("%s aggregate covers %d scenarios, want 8", a.Algorithm, a.Scenarios)
+		}
+		if a.Completion.N != 8 || a.Completion.Mean <= 0 {
+			t.Errorf("%s completion summary looks wrong: %+v", a.Algorithm, a.Completion)
+		}
+		if a.Slowdown == nil || a.Slowdown.Mean <= 0 {
+			t.Errorf("%s has no slowdown summary despite small tasks", a.Algorithm)
+		}
+		if a.PlaceLatency != nil {
+			t.Errorf("%s has latency in JSON aggregates without Timing", a.Algorithm)
+		}
+	}
+	for _, s := range rep.Scenarios {
+		// Completion 0 is legitimate: a fully colocated placement
+		// executes without touching the network.
+		if s.CompletionSeconds < 0 {
+			t.Errorf("scenario %s/%s/%s seed %d: completion %v", s.Topology, s.Workload, s.Algorithm, s.Seed, s.CompletionSeconds)
+		}
+		if s.PlaceLatency <= 0 {
+			t.Errorf("scenario %s/%s/%s seed %d: no placement latency recorded", s.Topology, s.Workload, s.Algorithm, s.Seed)
+		}
+		if s.OptimalSeconds == nil {
+			// Every golden-grid app is small enough for branch and
+			// bound, so a reference must always have been computed.
+			t.Errorf("scenario %s/%s/%s seed %d: no optimal reference", s.Topology, s.Workload, s.Algorithm, s.Seed)
+			continue
+		}
+		switch opt := *s.OptimalSeconds; {
+		case opt > 0:
+			want := s.CompletionSeconds / opt
+			if s.Slowdown == nil {
+				t.Errorf("scenario %s/%s/%s seed %d: positive reference but nil slowdown", s.Topology, s.Workload, s.Algorithm, s.Seed)
+			} else if diff := *s.Slowdown - want; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("scenario %s/%s/%s seed %d: slowdown %v != completion/optimal %v", s.Topology, s.Workload, s.Algorithm, s.Seed, *s.Slowdown, want)
+			}
+		case s.CompletionSeconds == 0:
+			if s.Slowdown == nil || *s.Slowdown != 1 {
+				t.Errorf("scenario %s/%s/%s seed %d: zero-vs-zero should be slowdown 1, got %v", s.Topology, s.Workload, s.Algorithm, s.Seed, s.Slowdown)
+			}
+		default:
+			if s.Slowdown != nil {
+				t.Errorf("scenario %s/%s/%s seed %d: infinite ratio should have nil slowdown, got %v", s.Topology, s.Workload, s.Algorithm, s.Seed, *s.Slowdown)
+			}
+		}
+	}
+	// Identical cell group => identical optimal reference across algorithms.
+	ref := map[string]float64{}
+	for _, s := range rep.Scenarios {
+		if s.OptimalSeconds == nil {
+			continue
+		}
+		key := fmt.Sprintf("%s/%s/%d", s.Topology, s.Workload, s.Seed)
+		if prev, ok := ref[key]; ok && prev != *s.OptimalSeconds {
+			t.Errorf("cell %s: optimal reference differs across algorithms (%v vs %v)", key, prev, *s.OptimalSeconds)
+		}
+		ref[key] = *s.OptimalSeconds
+	}
+	if !strings.Contains(rep.String(), "choreo") {
+		t.Error("String() should mention the algorithms")
+	}
+}
+
+func TestTimingAddsLatencyAggregates(t *testing.T) {
+	g := tinyGrid()
+	g.Timing = true
+	rep, err := Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Algorithms) != 1 || rep.Algorithms[0].PlaceLatency == nil {
+		t.Fatal("Timing should populate placement-latency aggregates")
+	}
+	if rep.Algorithms[0].PlaceLatency.Mean <= 0 {
+		t.Error("latency summary should be positive")
+	}
+}
+
+func TestCSVReport(t *testing.T) {
+	rep, err := Run(tinyGrid(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(rep.Scenarios) {
+		t.Fatalf("CSV has %d lines, want header + %d rows", len(lines), len(rep.Scenarios))
+	}
+	if !strings.HasPrefix(lines[0], "topology,workload,algorithm,seed") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "tworack,skewed,choreo,1,4,") {
+		t.Errorf("unexpected CSV row %q", lines[1])
+	}
+}
+
+// TestILPAlgorithmMatchesOptimal runs the Appendix ILP on a tiny cell
+// and cross-checks it against the branch-and-bound reference.
+func TestILPAlgorithmMatchesOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ILP solve is slow in -short mode")
+	}
+	g := tinyGrid()
+	g.VMs = 3
+	g.MinTasks = 3
+	g.MaxTasks = 3
+	ilpAlg, err := AlgorithmByName("ilp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	optAlg, err := AlgorithmByName("optimal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Algorithms = []Algorithm{ilpAlg, optAlg}
+	rep, err := Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios", len(rep.Scenarios))
+	}
+	// Both exact solvers may differ in tie-breaking but not by much in
+	// completion time; the ILP minimizes predicted time on the same
+	// measured rates.
+	a, b := rep.Scenarios[0].CompletionSeconds, rep.Scenarios[1].CompletionSeconds
+	if a <= 0 || b <= 0 {
+		t.Fatalf("non-positive completion: ilp=%v optimal=%v", a, b)
+	}
+	if diff := (a - b) / b; diff > 0.25 || diff < -0.25 {
+		t.Errorf("ilp completion %v deviates from optimal %v by %.0f%%", a, b, diff*100)
+	}
+}

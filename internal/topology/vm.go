@@ -135,11 +135,15 @@ func (p *Provider) pickHost() (NodeID, error) {
 		return hosts[idx], nil
 	}
 
+	// Candidate lists below must be built in topology order, never by
+	// ranging over the hostVMs map: map iteration order would leak into
+	// rng.Intn picks and break fixed-seed reproducibility.
+
 	// Colocate on an already-occupied host with the profile's probability.
 	if len(p.hostVMs) > 0 && p.rng.Float64() < p.Profile.SameHostProb {
 		occupied := make([]NodeID, 0, len(p.hostVMs))
-		for h := range p.hostVMs {
-			if free(h) {
+		for _, h := range hosts {
+			if len(p.hostVMs[h]) > 0 && free(h) {
 				occupied = append(occupied, h)
 			}
 		}
@@ -152,7 +156,10 @@ func (p *Provider) pickHost() (NodeID, error) {
 	if len(p.hostVMs) > 0 && p.rng.Float64() < p.Profile.SameRackProb {
 		var candidates []NodeID
 		seen := map[NodeID]bool{}
-		for h := range p.hostVMs {
+		for _, h := range hosts {
+			if len(p.hostVMs[h]) == 0 {
+				continue
+			}
 			tor := p.Topo.Nodes[h].Up[0]
 			if seen[tor] {
 				continue

@@ -50,6 +50,34 @@ func TestAllocateVMsBasics(t *testing.T) {
 	}
 }
 
+// TestAllocateVMsDeterministicForSeed guards fixed-seed reproducibility:
+// allocation must depend only on the seed, never on map iteration order.
+// (Regression test: pickHost used to range over the hostVMs map when
+// building colocation candidates, which made EC2-profile allocations —
+// and everything downstream, including sweep reports — vary run to run.)
+func TestAllocateVMsDeterministicForSeed(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		ref := newEC2Provider(t, seed)
+		refVMs, err := ref.AllocateVMs(24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			p := newEC2Provider(t, seed)
+			vms, err := p.AllocateVMs(24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range vms {
+				if vms[i].Host != refVMs[i].Host {
+					t.Fatalf("seed %d trial %d: VM %d on host %d, want %d",
+						seed, trial, i, vms[i].Host, refVMs[i].Host)
+				}
+			}
+		}
+	}
+}
+
 func TestAllocateRespectsHostCapacity(t *testing.T) {
 	profile := EC22013()
 	profile.SameHostProb = 1.0 // always try to colocate

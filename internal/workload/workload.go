@@ -78,6 +78,32 @@ func Default() Config {
 	}
 }
 
+// PresetNames lists the named pattern presets, "mixed" first.
+func PresetNames() []string {
+	return []string{"mixed", "shuffle", "scatter-gather", "pipeline", "uniform", "skewed"}
+}
+
+// PresetPatterns maps a preset name to the patterns the generator draws
+// from: "mixed" means every pattern (nil), the others pin one
+// communication shape. ok is false for unknown names.
+func PresetPatterns(name string) (patterns []Pattern, ok bool) {
+	switch name {
+	case "mixed":
+		return nil, true
+	case "shuffle":
+		return []Pattern{Shuffle}, true
+	case "scatter-gather":
+		return []Pattern{ScatterGather}, true
+	case "pipeline":
+		return []Pattern{Pipeline}, true
+	case "uniform":
+		return []Pattern{Uniform}, true
+	case "skewed":
+		return []Pattern{Skewed}, true
+	}
+	return nil, false
+}
+
 func (c Config) patterns() []Pattern {
 	if len(c.Patterns) > 0 {
 		return c.Patterns

@@ -162,3 +162,37 @@ func TestPatternString(t *testing.T) {
 		}
 	}
 }
+
+func TestPresetPatterns(t *testing.T) {
+	names := PresetNames()
+	if len(names) == 0 || names[0] != "mixed" {
+		t.Fatalf("PresetNames() = %v", names)
+	}
+	seen := map[Pattern]bool{}
+	for _, name := range names {
+		patterns, ok := PresetPatterns(name)
+		if !ok {
+			t.Fatalf("PresetPatterns(%q) not ok", name)
+		}
+		if name == "mixed" {
+			if patterns != nil {
+				t.Errorf("mixed should mean all patterns (nil), got %v", patterns)
+			}
+			continue
+		}
+		if len(patterns) != 1 {
+			t.Errorf("preset %q pins %d patterns, want 1", name, len(patterns))
+			continue
+		}
+		if patterns[0].String() != name {
+			t.Errorf("preset %q maps to pattern %q", name, patterns[0])
+		}
+		seen[patterns[0]] = true
+	}
+	if len(seen) != len(Config{}.patterns()) {
+		t.Errorf("presets cover %d patterns, generator draws from %d", len(seen), len(Config{}.patterns()))
+	}
+	if _, ok := PresetPatterns("nope"); ok {
+		t.Error("unknown preset should not resolve")
+	}
+}
