@@ -31,13 +31,20 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 
-# The sweep engine's acceptance check: the default 24-scenario grid must
-# produce byte-identical JSON on 1 worker and on 8.
+# The sweep engine's acceptance check: the default grid must produce
+# byte-identical JSON on 1 worker and on 8, with the environment cache
+# on and off — and the streaming JSONL pipeline must be deterministic
+# across worker counts too.
 sweep-smoke: build
 	$(BIN)/choreo sweep -workers 1 -out $(BIN)/sweep-w1.json
-	$(BIN)/choreo sweep -workers 8 -out $(BIN)/sweep-w8.json
+	$(BIN)/choreo sweep -workers 8 -cache-stats -out $(BIN)/sweep-w8.json
 	cmp $(BIN)/sweep-w1.json $(BIN)/sweep-w8.json
-	@echo "sweep output is byte-identical across worker counts"
+	$(BIN)/choreo sweep -workers 8 -cache=false -out $(BIN)/sweep-nocache.json
+	cmp $(BIN)/sweep-w1.json $(BIN)/sweep-nocache.json
+	$(BIN)/choreo sweep -workers 1 -stream $(BIN)/sweep-s1.jsonl
+	$(BIN)/choreo sweep -workers 8 -stream $(BIN)/sweep-s8.jsonl
+	cmp $(BIN)/sweep-s1.jsonl $(BIN)/sweep-s8.jsonl
+	@echo "sweep output is byte-identical across worker counts and cache states"
 
 clean:
 	rm -rf $(BIN)

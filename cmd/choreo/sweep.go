@@ -3,8 +3,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"choreo/internal/place"
@@ -15,21 +17,23 @@ import (
 
 // runSweep expands and executes a scenario grid across a worker pool.
 //
-// The JSON report is deterministic: the same flags and seeds produce
-// byte-identical output regardless of -workers (CI diffs -workers 1
-// against -workers 8 to enforce exactly that).
+// Reports are deterministic: the same flags and seeds produce
+// byte-identical output regardless of -workers and -cache (CI diffs
+// -workers 1 against -workers 8 to enforce exactly that). The default
+// collecting mode holds every scenario in memory; -stream switches to
+// the incremental JSON-lines pipeline for grids too large for that.
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	topologies := fs.String("topologies", "ec2-2013,rackspace", "comma-separated provider profiles (see -list)")
+	topologies := fs.String("topologies", "ec2-2013,rackspace,fattree-4,jellyfish-12", "comma-separated provider profiles (see -list)")
 	workloads := fs.String("workloads", "shuffle,uniform", "comma-separated workload presets (see -list)")
 	algorithms := fs.String("algorithms", "choreo,random,round-robin", "comma-separated placement algorithms (see -list)")
 	seedSpec := fs.String("seeds", "2", "seed count (from -seed) or explicit comma list")
 	baseSeed := fs.Int64("seed", 1, "base seed when -seeds is a count")
-	vms := fs.Int("vms", 8, "tenant VMs per scenario")
+	vms := fs.String("vms", "6,10", "comma-separated tenant VM counts to sweep")
 	apps := fs.Int("apps", 0, "applications combined per scenario (0 = one generated app, or the whole trace)")
 	minTasks := fs.Int("min-tasks", 4, "minimum tasks per generated application")
 	maxTasks := fs.Int("max-tasks", 6, "maximum tasks per generated application")
-	meanMB := fs.Float64("mean-mb", 200, "mean transfer size in MB for generated workloads")
+	meanMB := fs.String("mean-mb", "64,200", "comma-separated mean transfer sizes (MB) to sweep")
 	model := fs.String("model", "hose", "rate model: hose or pipe")
 	tracePath := fs.String("trace", "", "JSON trace file to replay as an extra workload")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (0 = GOMAXPROCS)")
@@ -37,25 +41,35 @@ func runSweep(args []string) error {
 	timing := fs.Bool("timing", false, "add wall-clock placement-latency aggregates (nondeterministic)")
 	outPath := fs.String("out", "-", "JSON report destination ('-' = stdout)")
 	csvPath := fs.String("csv", "", "also write a per-scenario CSV report here")
+	streamPath := fs.String("stream", "", "write an incremental JSON-lines report here ('-' = stdout) instead of collecting; excludes -out/-csv")
+	cache := fs.Bool("cache", true, "share one built-and-measured cloud across each cell's algorithms and optimal reference")
+	cacheStats := fs.Bool("cache-stats", false, "print environment-cache hit/miss counters to stderr")
 	list := fs.Bool("list", false, "list valid topologies, workloads and algorithms, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
-		fmt.Printf("topologies: %s\n", strings.Join(sweep.TopologyNames(), ", "))
-		fmt.Printf("workloads:  %s (or -trace file.json)\n", strings.Join(sweep.WorkloadNames(), ", "))
-		fmt.Printf("algorithms: %s\n", strings.Join(sweep.AlgorithmNames(), ", "))
+		printSweepLists(os.Stdout)
 		return nil
 	}
 
 	g := sweep.Grid{
-		VMs:             *vms,
 		Apps:            *apps,
 		MinTasks:        *minTasks,
 		MaxTasks:        *maxTasks,
-		MeanBytes:       units.ByteSize(*meanMB * 1e6),
 		OptimalMaxTasks: *optMaxTasks,
 		Timing:          *timing,
+	}
+	var err error
+	if g.VMCounts, err = parseIntList(*vms); err != nil {
+		return fmt.Errorf("-vms: %w", err)
+	}
+	sizes, err := parseFloatList(*meanMB)
+	if err != nil {
+		return fmt.Errorf("-mean-mb: %w", err)
+	}
+	for _, mb := range sizes {
+		g.MeanSizes = append(g.MeanSizes, units.ByteSize(mb*1e6))
 	}
 	switch *model {
 	case "hose":
@@ -104,45 +118,102 @@ func runSweep(args []string) error {
 	}
 	g.Seeds = seeds
 
-	rep, err := sweep.Run(g, *workers)
+	opts := sweep.RunOptions{Workers: *workers, NoCache: !*cache}
+
+	if *streamPath != "" {
+		if *outPath != "-" || *csvPath != "" {
+			return fmt.Errorf("-stream does not retain scenarios; drop -out/-csv")
+		}
+		if err := streamSweep(g, opts, *streamPath, *cacheStats); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	rep, err := sweep.RunCollect(g, opts)
 	if err != nil {
 		return err
 	}
-
-	if *outPath == "-" {
-		if err := rep.WriteJSON(os.Stdout); err != nil {
-			return err
-		}
-	} else {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		// A failed close can lose buffered report bytes; surface it.
-		if err := f.Close(); err != nil {
-			return err
-		}
+	if err := writeTo(*outPath, rep.WriteJSON); err != nil {
+		return err
 	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return err
-		}
-		if err := rep.WriteCSV(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeTo(*csvPath, rep.WriteCSV); err != nil {
 			return err
 		}
 	}
 	// Human summary on stderr so stdout stays machine-parseable.
 	fmt.Fprint(os.Stderr, rep.String())
+	if *cacheStats {
+		printCacheStats(rep.Cache.Hits, rep.Cache.Misses)
+	}
 	return nil
+}
+
+// streamSweep runs the grid through the incremental JSON-lines pipeline:
+// results hit the destination in expansion order as soon as they (and
+// their predecessors) finish, so memory stays flat no matter the grid.
+func streamSweep(g sweep.Grid, opts sweep.RunOptions, dest string, cacheStats bool) error {
+	return writeTo(dest, func(w io.Writer) error {
+		sw := sweep.NewStreamWriter(w)
+		hdr, err := g.Summary()
+		if err != nil {
+			return err
+		}
+		if err := sw.Header(hdr); err != nil {
+			return err
+		}
+		opts.Emit = sw.Result
+		sum, err := sweep.RunStream(g, opts)
+		if err != nil {
+			return err
+		}
+		if err := sw.Finish(sum.Algorithms); err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, sum.String())
+		if cacheStats {
+			printCacheStats(sum.Cache.Hits, sum.Cache.Misses)
+		}
+		return nil
+	})
+}
+
+func printCacheStats(hits, misses int64) {
+	total := hits + misses
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(hits) / float64(total)
+	}
+	fmt.Fprintf(os.Stderr, "envcache: %d hits / %d misses (%.0f%% of cell fetches served from cache)\n",
+		hits, misses, pct)
+}
+
+// printSweepLists renders the -list output: every valid dimension value.
+func printSweepLists(w io.Writer) {
+	fmt.Fprintf(w, "topologies: %s\n", strings.Join(sweep.TopologyNames(), ", "))
+	fmt.Fprintf(w, "            (fattree-K takes any even K >= 2; jellyfish-N any N >= 4 switches)\n")
+	fmt.Fprintf(w, "workloads:  %s (or -trace file.json)\n", strings.Join(sweep.WorkloadNames(), ", "))
+	fmt.Fprintf(w, "algorithms: %s\n", strings.Join(sweep.AlgorithmNames(), ", "))
+	fmt.Fprintf(w, "models:     hose, pipe\n")
+	fmt.Fprintf(w, "dimensions: -topologies x -workloads x -vms x -mean-mb x -algorithms x -seeds\n")
+}
+
+// writeTo opens dest ('-' = stdout) and runs write against it,
+// surfacing close errors — a failed close can lose buffered bytes.
+func writeTo(dest string, write func(io.Writer) error) error {
+	if dest == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // splitList splits a comma list, trimming blanks.
@@ -154,4 +225,26 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// parseList parses a non-empty comma list with the given element parser.
+func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	var out []T
+	for _, part := range splitList(s) {
+		v, err := parse(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseIntList(s string) ([]int, error) { return parseList(s, strconv.Atoi) }
+
+func parseFloatList(s string) ([]float64, error) {
+	return parseList(s, func(v string) (float64, error) { return strconv.ParseFloat(v, 64) })
 }

@@ -58,10 +58,14 @@ type Flow struct {
 	// remaining bytes; <0 means backlogged.
 	remaining float64
 	keys      []constraintKey
-	started   time.Duration
-	finished  time.Duration
-	done      bool
-	onFinish  func(*Flow)
+	// slots are the network-wide slot indices of keys, resolved once at
+	// StartFlow so every later allocate reuses the mapping instead of
+	// re-deriving the constraint index from scratch.
+	slots    []int32
+	started  time.Duration
+	finished time.Duration
+	done     bool
+	onFinish func(*Flow)
 }
 
 // Remaining returns the bytes the flow still has to transfer, or
@@ -122,13 +126,30 @@ type Network struct {
 	seq    int64
 
 	dirty bool
+
+	// Constraint-slot registry. Every distinct constraint (physical link,
+	// hose, memory bus) gets one slot for the network's lifetime, with
+	// its capacity cached — capacities are static once the provider is
+	// built. allocate() then works on flat arrays instead of rebuilding
+	// a map-keyed index per call.
+	slotIndex map[constraintKey]int32
+	slotCap   []float64
+	// Per-allocation scratch, epoch-stamped so only slots touched by the
+	// current active set are reset.
+	slotRem   []float64
+	slotAlive []int32
+	slotSeen  []int64
+	slotEpoch int64
+	touched   []int32
+	frozen    []bool
 }
 
 // New creates a simulator over the provider's fabric and VMs.
 func New(prov *topology.Provider) *Network {
 	return &Network{
-		prov:  prov,
-		flows: make(map[FlowID]*Flow),
+		prov:      prov,
+		flows:     make(map[FlowID]*Flow),
+		slotIndex: make(map[constraintKey]int32),
 	}
 }
 
@@ -168,6 +189,7 @@ func (n *Network) StartFlow(src, dst topology.VMID, size units.ByteSize, tag str
 		f.remaining = float64(size)
 	}
 	f.keys = n.constraintsFor(path)
+	f.slots = n.slotsFor(f.keys)
 	n.flows[f.ID] = f
 	n.active = append(n.active, f)
 	n.dirty = true
@@ -221,49 +243,75 @@ func (n *Network) capacityOf(k constraintKey) float64 {
 	panic("netsim: unknown constraint kind")
 }
 
+// slotsFor resolves constraint keys to their network-wide slot indices,
+// registering unseen constraints (and caching their static capacity) on
+// first use. Called once per flow at StartFlow.
+func (n *Network) slotsFor(keys []constraintKey) []int32 {
+	slots := make([]int32, len(keys))
+	for i, k := range keys {
+		si, ok := n.slotIndex[k]
+		if !ok {
+			si = int32(len(n.slotCap))
+			n.slotIndex[k] = si
+			n.slotCap = append(n.slotCap, n.capacityOf(k))
+			n.slotRem = append(n.slotRem, 0)
+			n.slotAlive = append(n.slotAlive, 0)
+			n.slotSeen = append(n.slotSeen, 0)
+		}
+		slots[i] = si
+	}
+	return slots
+}
+
 // allocate computes max-min fair rates for all active flows via
 // progressive filling: repeatedly find the constraint with the smallest
 // fair share, freeze its flows at that share, and remove their demand.
+// Flow→slot mappings were resolved at StartFlow, so each call only resets
+// the slots the active set touches (epoch-stamped) rather than rebuilding
+// a constraint index from scratch.
 func (n *Network) allocate() {
 	n.dirty = false
 	if len(n.active) == 0 {
 		return
 	}
 
-	type slot struct {
-		rem    float64
-		nAlive int
-	}
-	index := make(map[constraintKey]int)
-	var slots []slot
-	flowSlots := make([][]int, len(n.active))
-	for fi, f := range n.active {
-		fs := make([]int, len(f.keys))
-		for ki, k := range f.keys {
-			si, ok := index[k]
-			if !ok {
-				si = len(slots)
-				index[k] = si
-				slots = append(slots, slot{rem: n.capacityOf(k)})
+	n.slotEpoch++
+	epoch := n.slotEpoch
+	touched := n.touched[:0]
+	for _, f := range n.active {
+		for _, si := range f.slots {
+			if n.slotSeen[si] != epoch {
+				n.slotSeen[si] = epoch
+				n.slotRem[si] = n.slotCap[si]
+				n.slotAlive[si] = 0
+				touched = append(touched, si)
 			}
-			slots[si].nAlive++
-			fs[ki] = si
+			n.slotAlive[si]++
 		}
-		flowSlots[fi] = fs
-		n.active[fi].Rate = 0
+		f.Rate = 0
+	}
+	n.touched = touched
+
+	if cap(n.frozen) < len(n.active) {
+		n.frozen = make([]bool, len(n.active))
+	}
+	frozen := n.frozen[:len(n.active)]
+	for i := range frozen {
+		frozen[i] = false
 	}
 
-	frozen := make([]bool, len(n.active))
 	remaining := len(n.active)
 	for remaining > 0 {
-		// Find the tightest constraint.
-		best := -1
+		// Find the tightest constraint. touched is in first-encounter
+		// order over the active flows, matching the per-call index the
+		// previous implementation built, so tie-breaks are unchanged.
+		best := int32(-1)
 		bestShare := math.Inf(1)
-		for si := range slots {
-			if slots[si].nAlive == 0 {
+		for _, si := range touched {
+			if n.slotAlive[si] == 0 {
 				continue
 			}
-			share := slots[si].rem / float64(slots[si].nAlive)
+			share := n.slotRem[si] / float64(n.slotAlive[si])
 			if share < bestShare {
 				bestShare = share
 				best = si
@@ -283,7 +331,7 @@ func (n *Network) allocate() {
 				continue
 			}
 			crosses := false
-			for _, si := range flowSlots[fi] {
+			for _, si := range f.slots {
 				if si == best {
 					crosses = true
 					break
@@ -295,11 +343,11 @@ func (n *Network) allocate() {
 			frozen[fi] = true
 			remaining--
 			f.Rate = units.Rate(bestShare)
-			for _, si := range flowSlots[fi] {
-				slots[si].rem -= bestShare
-				slots[si].nAlive--
-				if slots[si].rem < 0 {
-					slots[si].rem = 0
+			for _, si := range f.slots {
+				n.slotRem[si] -= bestShare
+				n.slotAlive[si]--
+				if n.slotRem[si] < 0 {
+					n.slotRem[si] = 0
 				}
 			}
 		}
@@ -567,6 +615,7 @@ func (n *Network) Availability(src, dst topology.VMID) (PathAvailability, error)
 		return PathAvailability{}, err
 	}
 	f.keys = f.keys[1:] // drop the hose constraint (always first)
+	f.slots = f.slots[1:]
 	n.dirty = true
 	n.allocate()
 	av.PhysicalShare = f.Rate

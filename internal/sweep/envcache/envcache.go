@@ -1,0 +1,153 @@
+// Package envcache memoizes built-and-measured scenario environments for
+// the sweep engine. A sweep grid crosses every cell (topology × workload ×
+// VM count × transfer size × seed) with N placement algorithms, and the
+// exact-optimum reference visits the cell once more — but the cell's
+// simulated cloud, its measured rate matrix and its generated application
+// are a pure function of the cell's content key, not of the algorithm.
+// Caching them turns N+1 expensive build-and-measure passes per cell into
+// one, without touching the determinism guarantee: a cache hit returns
+// bit-identical data to what a rebuild would produce, so reports are
+// byte-identical with the cache on or off.
+//
+// The cache is content-keyed (Key carries every input that shapes the
+// cloud or the application), singleflight (concurrent workers asking for
+// the same cell block on one build), and self-evicting (the caller
+// declares how many times each cell will be used; the last use releases
+// the entry, bounding memory to the in-flight working set on large
+// streaming sweeps).
+package envcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"choreo/internal/place"
+	"choreo/internal/profile"
+)
+
+// Key identifies one unique scenario environment: the deterministic cell
+// seed plus every topology, allocation and workload parameter that shapes
+// the built cloud or the placement problem. Two scenarios with equal keys
+// share a bit-identical environment.
+type Key struct {
+	Topology  string
+	Workload  string
+	CloudSeed int64
+	VMs       int
+	MeanBytes int64
+	MinTasks  int
+	MaxTasks  int
+	Apps      int
+}
+
+// Cell is one built-and-measured scenario environment: the measured rate
+// matrix and the application to place. Both are treated as immutable by
+// every consumer (placement algorithms read them; execution happens on a
+// freshly rebuilt cloud). The exact-optimum reference completion is
+// memoized here too, so the N algorithms of a cell group compute it once.
+type Cell struct {
+	Env *place.Environment
+	App *profile.Application
+
+	refOnce sync.Once
+	refVal  float64
+	refOK   bool
+	refErr  error
+}
+
+// OptimalReference returns the memoized exact-optimum reference,
+// computing it with compute on first call. compute's result must be a
+// pure function of the cell (it is: the reference minimizes the predicted
+// objective over Env and executes on a cloud rebuilt from the cell seed),
+// so whichever scenario gets here first stores what every other scenario
+// would have computed.
+func (c *Cell) OptimalReference(compute func() (float64, bool, error)) (float64, bool, error) {
+	c.refOnce.Do(func() {
+		c.refVal, c.refOK, c.refErr = compute()
+	})
+	return c.refVal, c.refOK, c.refErr
+}
+
+// Stats counts cache traffic. Misses is the number of cells actually
+// built; a sweep over U unique cells with S scenarios proves the sharing
+// worked when Misses == U and Hits == S - U.
+type Stats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// entry is one cached cell with its build-once latch and remaining-use
+// count.
+type entry struct {
+	once      sync.Once
+	cell      *Cell
+	err       error
+	remaining int
+}
+
+// Cache is a concurrency-safe, content-keyed cell cache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	uses    int
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// New returns a cache expecting every key to be fetched usesPerKey times;
+// the last fetch evicts the entry. usesPerKey <= 0 disables eviction
+// (entries live for the cache's lifetime).
+func New(usesPerKey int) *Cache {
+	return &Cache{entries: make(map[Key]*entry), uses: usesPerKey}
+}
+
+// Get returns the cell for key, building it with build on first request.
+// Concurrent Gets for the same key share a single build; errors are
+// shared with every waiter. A nil *Cache is valid and simply builds every
+// time (the cache-disabled path), counting nothing.
+func (c *Cache) Get(key Key, build func() (*Cell, error)) (*Cell, error) {
+	if c == nil {
+		return build()
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &entry{remaining: c.uses}
+		c.entries[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	if c.uses > 0 {
+		e.remaining--
+		if e.remaining <= 0 {
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.cell, e.err = build()
+	})
+	return e.cell, e.err
+}
+
+// Stats returns the cumulative hit/miss counters (they survive eviction).
+// Safe on a nil cache, which reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len reports the number of currently resident entries (for tests: with
+// eviction on, a finished sweep should leave zero).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

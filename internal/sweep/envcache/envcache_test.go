@@ -1,0 +1,134 @@
+package envcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(seed int64) Key {
+	return Key{Topology: "t", Workload: "w", CloudSeed: seed, VMs: 4, MeanBytes: 1 << 20, MinTasks: 3, MaxTasks: 4}
+}
+
+func TestSingleflightBuildsOnce(t *testing.T) {
+	c := New(0)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	cells := make([]*Cell, 16)
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cell, err := c.Get(key(1), func() (*Cell, error) {
+				builds.Add(1)
+				return &Cell{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			cells[i] = cell
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("16 concurrent Gets built %d times, want 1", builds.Load())
+	}
+	for i := 1; i < len(cells); i++ {
+		if cells[i] != cells[0] {
+			t.Fatal("concurrent Gets returned different cells")
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 15 {
+		t.Errorf("stats = %+v, want 1 miss / 15 hits", s)
+	}
+}
+
+func TestDistinctKeysBuildSeparately(t *testing.T) {
+	c := New(0)
+	var builds atomic.Int64
+	build := func() (*Cell, error) { builds.Add(1); return &Cell{}, nil }
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := c.Get(key(seed), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds.Load() != 3 {
+		t.Errorf("3 distinct keys built %d times", builds.Load())
+	}
+}
+
+func TestEvictionAfterDeclaredUses(t *testing.T) {
+	c := New(2)
+	var builds atomic.Int64
+	build := func() (*Cell, error) { builds.Add(1); return &Cell{}, nil }
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(key(1), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("entry should be evicted after its 2 declared uses, %d resident", c.Len())
+	}
+	// A use beyond the declaration rebuilds (counts as a miss).
+	if _, err := c.Get(key(1), build); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 2 {
+		t.Errorf("post-eviction Get should rebuild: %d builds", builds.Load())
+	}
+	s := c.Stats()
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 misses / 1 hit", s)
+	}
+}
+
+func TestNilCacheBuildsEveryTime(t *testing.T) {
+	var c *Cache
+	var builds atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(key(1), func() (*Cell, error) { builds.Add(1); return &Cell{}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds.Load() != 3 {
+		t.Errorf("nil cache built %d times, want 3", builds.Load())
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", s)
+	}
+	if c.Len() != 0 {
+		t.Errorf("nil cache Len = %d", c.Len())
+	}
+}
+
+func TestBuildErrorShared(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	if _, err := c.Get(key(9), func() (*Cell, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the build error", err)
+	}
+	// Later Gets observe the same (cached) failure rather than rebuilding:
+	// the cell is deterministic, so retrying cannot succeed.
+	if _, err := c.Get(key(9), func() (*Cell, error) { t.Fatal("rebuilt"); return nil, nil }); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the shared build error", err)
+	}
+}
+
+func TestOptimalReferenceMemoized(t *testing.T) {
+	cell := &Cell{}
+	var computes atomic.Int64
+	for i := 0; i < 4; i++ {
+		v, ok, err := cell.OptimalReference(func() (float64, bool, error) {
+			computes.Add(1)
+			return 42, true, nil
+		})
+		if err != nil || !ok || v != 42 {
+			t.Fatalf("reference = %v %v %v", v, ok, err)
+		}
+	}
+	if computes.Load() != 1 {
+		t.Errorf("reference computed %d times, want 1", computes.Load())
+	}
+}

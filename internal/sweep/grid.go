@@ -29,14 +29,26 @@ type Topology struct {
 	Profile topology.Profile
 }
 
-// TopologyNames lists the profiles TopologyByName accepts.
+// TopologyNames lists the profiles TopologyByName accepts. fattree-K and
+// jellyfish-N generalize: any even K >= 2 and any N >= 2 parse.
 func TopologyNames() []string {
-	return []string{"ec2-2013", "ec2-2012", "rackspace", "private", "dumbbell", "tworack"}
+	return []string{"ec2-2013", "ec2-2012", "rackspace", "private", "dumbbell", "tworack",
+		"fattree-4", "jellyfish-12"}
 }
 
+// jellyfishPorts and jellyfishSeed fix the per-switch port budget and the
+// fabric wiring seed for the jellyfish-N grid profiles, so a name like
+// "jellyfish-12" denotes one reproducible cloud.
+const (
+	jellyfishPorts = 6
+	jellyfishSeed  = 7
+)
+
 // TopologyByName resolves a provider profile: the paper's measured
-// VM-pair clouds (ec2-2013, ec2-2012, rackspace, private) and the ns-2
-// tree fabrics (dumbbell, tworack).
+// VM-pair clouds (ec2-2013, ec2-2012, rackspace, private), the ns-2 tree
+// fabrics (dumbbell, tworack), and the cluster-scheduling fabrics
+// fattree-K (k-ary fat tree, even K) and jellyfish-N (N-switch random
+// regular graph).
 func TopologyByName(name string) (Topology, error) {
 	switch name {
 	case "ec2-2013", "ec2":
@@ -51,9 +63,40 @@ func TopologyByName(name string) (Topology, error) {
 		return Topology{Name: "dumbbell", Profile: topology.Dumbbell(8, units.Gbps(1), units.Gbps(1))}, nil
 	case "tworack":
 		return Topology{Name: "tworack", Profile: topology.TwoRack(8, units.Gbps(1), units.Gbps(10))}, nil
+	case "fattree":
+		return TopologyByName("fattree-4")
+	case "jellyfish":
+		return TopologyByName("jellyfish-12")
+	}
+	if k, ok := nameParam(name, "fattree-"); ok {
+		if k < 2 || k%2 != 0 {
+			return Topology{}, fmt.Errorf("sweep: fat tree needs an even k >= 2, got %q", name)
+		}
+		return Topology{Name: fmt.Sprintf("fattree-%d", k), Profile: topology.FatTree(k)}, nil
+	}
+	if n, ok := nameParam(name, "jellyfish-"); ok {
+		// The fixed port budget dedicates jellyfishPorts/2 ports per
+		// switch to peer links, and a random regular graph needs more
+		// switches than its degree.
+		if minSwitches := (jellyfishPorts+1)/2 + 1; n < minSwitches {
+			return Topology{}, fmt.Errorf("sweep: jellyfish needs >= %d switches, got %q", minSwitches, name)
+		}
+		return Topology{Name: fmt.Sprintf("jellyfish-%d", n), Profile: topology.Jellyfish(n, jellyfishPorts, jellyfishSeed)}, nil
 	}
 	return Topology{}, fmt.Errorf("sweep: unknown topology %q (valid: %s)",
 		name, strings.Join(TopologyNames(), ", "))
+}
+
+// nameParam parses the integer suffix of a parameterized profile name.
+func nameParam(name, prefix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	v, err := strconv.Atoi(name[len(prefix):])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
 }
 
 // Workload is one named application source in the grid: either a
@@ -134,8 +177,18 @@ type Grid struct {
 	// Seeds holds the grid seeds; each contributes one full cross
 	// product of scenarios.
 	Seeds []int64
+	// VMCounts sweeps the tenant allocation size; empty means one entry,
+	// the scalar VMs knob.
+	VMCounts []int
+	// MeanSizes sweeps the mean generated transfer size; empty means one
+	// entry, the scalar MeanBytes knob. Trace workloads replay recorded
+	// transfers, so they do not cross this dimension: each trace
+	// contributes one cell per VM count and seed, reported with
+	// meanBytes 0.
+	MeanSizes []units.ByteSize
 
-	// VMs is the tenant allocation per scenario (default 8).
+	// VMs is the tenant allocation per scenario (default 8) when
+	// VMCounts does not sweep it.
 	VMs int
 	// Apps is how many applications are combined into one placement
 	// problem per scenario. 0 means the default: one generated
@@ -144,7 +197,8 @@ type Grid struct {
 	// MinTasks/MaxTasks bound generated application sizes
 	// (defaults 4 and 6, small enough for the exact optimum).
 	MinTasks, MaxTasks int
-	// MeanBytes scales generated transfers (default 200 MB).
+	// MeanBytes scales generated transfers (default 200 MB) when
+	// MeanSizes does not sweep it.
 	MeanBytes units.ByteSize
 	// Model is the rate model for greedy/optimal placement. The zero
 	// value is the pipe model; Default() and `choreo sweep` use hose.
@@ -163,11 +217,17 @@ type Grid struct {
 	Timing bool
 }
 
-// Default returns the stock grid used by `choreo sweep`: 2 topologies ×
-// 2 workloads × 3 algorithms × 2 seeds = 24 scenarios.
+// Default returns the stock grid used by `choreo sweep`: 4 topologies ×
+// 2 workloads × 2 VM counts × 2 transfer sizes × 3 algorithms × 2 seeds
+// = 192 scenarios over 64 unique cells.
 func Default() Grid {
-	g := Grid{Seeds: []int64{1, 2}, Model: place.Hose}
-	for _, t := range []string{"ec2-2013", "rackspace"} {
+	g := Grid{
+		Seeds:     []int64{1, 2},
+		Model:     place.Hose,
+		VMCounts:  []int{6, 10},
+		MeanSizes: []units.ByteSize{64 * units.Megabyte, 200 * units.Megabyte},
+	}
+	for _, t := range []string{"ec2-2013", "rackspace", "fattree-4", "jellyfish-12"} {
 		tp, _ := TopologyByName(t)
 		g.Topologies = append(g.Topologies, tp)
 	}
@@ -183,7 +243,8 @@ func Default() Grid {
 	return g
 }
 
-// applyDefaults fills zero-valued knobs.
+// applyDefaults fills zero-valued knobs and lifts the scalar VM/transfer
+// knobs into single-entry sweep dimensions.
 func (g *Grid) applyDefaults() {
 	if g.VMs == 0 {
 		g.VMs = 8
@@ -199,6 +260,12 @@ func (g *Grid) applyDefaults() {
 	}
 	if g.OptimalMaxTasks == 0 {
 		g.OptimalMaxTasks = 6
+	}
+	if len(g.VMCounts) == 0 {
+		g.VMCounts = []int{g.VMs}
+	}
+	if len(g.MeanSizes) == 0 {
+		g.MeanSizes = []units.ByteSize{g.MeanBytes}
 	}
 }
 
@@ -216,8 +283,15 @@ func (g *Grid) Validate() error {
 	if len(g.Seeds) == 0 {
 		return fmt.Errorf("sweep: grid has no seeds")
 	}
-	if g.VMs < 2 {
-		return fmt.Errorf("sweep: need at least 2 VMs, got %d", g.VMs)
+	for _, vms := range g.VMCounts {
+		if vms < 2 {
+			return fmt.Errorf("sweep: need at least 2 VMs, got %d", vms)
+		}
+	}
+	for _, size := range g.MeanSizes {
+		if size <= 0 {
+			return fmt.Errorf("sweep: mean transfer size must be positive, got %v", size)
+		}
 	}
 	if g.MinTasks < 2 || g.MaxTasks < g.MinTasks {
 		return fmt.Errorf("sweep: invalid task bounds [%d, %d]", g.MinTasks, g.MaxTasks)
@@ -244,10 +318,22 @@ type Scenario struct {
 	Workload  Workload
 	Algorithm Algorithm
 	Seed      int64
+	// VMs and MeanBytes are the swept allocation size and mean transfer
+	// size of this cell.
+	VMs       int
+	MeanBytes units.ByteSize
 }
 
+// traceSizes is the transfer-size dimension for trace workloads: traces
+// replay recorded transfers, so sweeping the generator's mean size would
+// only duplicate identical cells. The single zero entry keeps the cell
+// honest (meanBytes 0 = not applicable) and the cloud seed stable.
+var traceSizes = []units.ByteSize{0}
+
 // Expand enumerates the cross product in a fixed order: topology,
-// workload, algorithm, seed — the outermost dimension varying slowest.
+// workload, VM count, transfer size, algorithm, seed — the outermost
+// dimension varying slowest. Trace workloads skip the transfer-size
+// dimension (see traceSizes).
 func (g *Grid) Expand() ([]Scenario, error) {
 	g.applyDefaults()
 	if err := g.Validate(); err != nil {
@@ -256,15 +342,25 @@ func (g *Grid) Expand() ([]Scenario, error) {
 	var out []Scenario
 	for _, tp := range g.Topologies {
 		for _, wl := range g.Workloads {
-			for _, alg := range g.Algorithms {
-				for _, seed := range g.Seeds {
-					out = append(out, Scenario{
-						Index:     len(out),
-						Topology:  tp,
-						Workload:  wl,
-						Algorithm: alg,
-						Seed:      seed,
-					})
+			sizes := g.MeanSizes
+			if wl.Trace != nil {
+				sizes = traceSizes
+			}
+			for _, vms := range g.VMCounts {
+				for _, size := range sizes {
+					for _, alg := range g.Algorithms {
+						for _, seed := range g.Seeds {
+							out = append(out, Scenario{
+								Index:     len(out),
+								Topology:  tp,
+								Workload:  wl,
+								Algorithm: alg,
+								Seed:      seed,
+								VMs:       vms,
+								MeanBytes: size,
+							})
+						}
+					}
 				}
 			}
 		}
@@ -272,29 +368,35 @@ func (g *Grid) Expand() ([]Scenario, error) {
 	return out, nil
 }
 
-// cloudSeed derives the deterministic per-cell seed. It covers topology,
-// workload and grid seed but not the algorithm, so every algorithm in a
-// cell group faces the identical cloud and application — the comparison
-// the paper's Figure 10 makes.
+// cloudSeed derives the deterministic per-cell seed. It covers every cell
+// coordinate (topology, workload, VM count, transfer size, grid seed)
+// but not the algorithm, so every algorithm in a cell group faces the
+// identical cloud and application — the comparison the paper's Figure 10
+// makes.
 func (sc Scenario) cloudSeed() int64 {
 	const offset64, prime64 = 1469598103934665603, 1099511628211
 	h := uint64(offset64)
+	mixByte := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
 	mix := func(s string) {
 		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime64
+			mixByte(s[i])
 		}
-		h ^= 0xff // separator so "ab"+"c" != "a"+"bc"
-		h *= prime64
+		mixByte(0xff) // separator so "ab"+"c" != "a"+"bc"
+	}
+	mixInt := func(v int64) {
+		// Fold in bytewise for the same avalanche behaviour.
+		for i := 0; i < 8; i++ {
+			mixByte(byte(v >> (8 * i)))
+		}
 	}
 	mix(sc.Topology.Name)
 	mix(sc.Workload.Name)
-	// Fold the seed in bytewise for the same avalanche behaviour.
-	s := sc.Seed
-	for i := 0; i < 8; i++ {
-		h ^= uint64(byte(s >> (8 * i)))
-		h *= prime64
-	}
+	mixInt(int64(sc.VMs))
+	mixInt(int64(sc.MeanBytes))
+	mixInt(sc.Seed)
 	// Keep it positive and well away from zero for rand.NewSource.
 	return int64(h&0x7fffffffffffffff) | 1
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"choreo/internal/stats"
+	"choreo/internal/sweep/envcache"
 )
 
 // Aggregate summarizes one algorithm across every scenario it ran in.
@@ -31,7 +32,7 @@ type Aggregate struct {
 	latency stats.Summary
 }
 
-// Report is the deterministic output of a sweep run.
+// Report is the deterministic output of a collecting sweep run.
 type Report struct {
 	// Grid echoes the swept dimensions.
 	Grid GridSummary `json:"grid"`
@@ -39,6 +40,19 @@ type Report struct {
 	Scenarios []Result `json:"scenarios"`
 	// Algorithms holds per-algorithm aggregates in grid order.
 	Algorithms []Aggregate `json:"algorithms"`
+	// Cache carries the environment-cache counters for the run. Kept out
+	// of the JSON encoding: hit counts depend on cache state, and the
+	// report bytes must not.
+	Cache envcache.Stats `json:"-"`
+}
+
+// Summary is what a streaming run retains: the grid echo, per-algorithm
+// aggregates and the cache counters — everything except the per-scenario
+// results, which went through the Emit hook.
+type Summary struct {
+	Grid       GridSummary    `json:"grid"`
+	Algorithms []Aggregate    `json:"algorithms"`
+	Cache      envcache.Stats `json:"-"`
 }
 
 // GridSummary is the serializable echo of a Grid.
@@ -47,18 +61,33 @@ type GridSummary struct {
 	Workloads  []string `json:"workloads"`
 	Algorithms []string `json:"algorithms"`
 	Seeds      []int64  `json:"seeds"`
-	VMs        int      `json:"vms"`
+	VMCounts   []int    `json:"vms"`
+	MeanBytes  []int64  `json:"meanBytes"`
 	Apps       int      `json:"apps"`
 	Scenarios  int      `json:"scenarios"`
 }
 
-// newReport assembles aggregates from per-scenario results.
-func newReport(g *Grid, results []Result) (*Report, error) {
+// Summary validates and expands the grid's dimensions into the
+// serializable echo that heads reports and streams, without running
+// anything.
+func (g *Grid) Summary() (GridSummary, error) {
+	scenarios, err := g.Expand()
+	if err != nil {
+		return GridSummary{}, err
+	}
+	return g.summary(len(scenarios)), nil
+}
+
+// summary builds the grid echo. Call after applyDefaults (Expand does).
+func (g *Grid) summary(scenarios int) GridSummary {
 	sum := GridSummary{
 		Seeds:     append([]int64(nil), g.Seeds...),
-		VMs:       g.VMs,
+		VMCounts:  append([]int(nil), g.VMCounts...),
 		Apps:      g.Apps,
-		Scenarios: len(results),
+		Scenarios: scenarios,
+	}
+	for _, size := range g.MeanSizes {
+		sum.MeanBytes = append(sum.MeanBytes, int64(size))
 	}
 	for _, t := range g.Topologies {
 		sum.Topologies = append(sum.Topologies, t.Name)
@@ -67,20 +96,44 @@ func newReport(g *Grid, results []Result) (*Report, error) {
 		sum.Workloads = append(sum.Workloads, w.Name)
 	}
 	sum.Algorithms = g.algorithmNames()
+	return sum
+}
 
-	rep := &Report{Grid: sum, Scenarios: results}
-	for _, name := range sum.Algorithms {
-		var completions, slowdowns, latencies []float64
-		for _, r := range results {
-			if r.Algorithm != name {
-				continue
-			}
-			completions = append(completions, r.CompletionSeconds)
-			latencies = append(latencies, r.PlaceLatency.Seconds())
-			if r.Slowdown != nil {
-				slowdowns = append(slowdowns, *r.Slowdown)
-			}
-		}
+// aggregator accumulates per-algorithm series incrementally, so a
+// streaming run aggregates without retaining Results. Results must be
+// added in a deterministic order (RunStream adds in expansion order) for
+// the summaries to be byte-reproducible.
+type aggregator struct {
+	g           *Grid
+	names       []string
+	completions map[string][]float64
+	slowdowns   map[string][]float64
+	latencies   map[string][]float64
+}
+
+func newAggregator(g *Grid) *aggregator {
+	return &aggregator{
+		g:           g,
+		names:       g.algorithmNames(),
+		completions: make(map[string][]float64),
+		slowdowns:   make(map[string][]float64),
+		latencies:   make(map[string][]float64),
+	}
+}
+
+func (a *aggregator) add(r Result) {
+	a.completions[r.Algorithm] = append(a.completions[r.Algorithm], r.CompletionSeconds)
+	a.latencies[r.Algorithm] = append(a.latencies[r.Algorithm], r.PlaceLatency.Seconds())
+	if r.Slowdown != nil {
+		a.slowdowns[r.Algorithm] = append(a.slowdowns[r.Algorithm], *r.Slowdown)
+	}
+}
+
+// aggregates summarizes every algorithm in grid order.
+func (a *aggregator) aggregates() ([]Aggregate, error) {
+	var out []Aggregate
+	for _, name := range a.names {
+		completions := a.completions[name]
 		if len(completions) == 0 {
 			continue
 		}
@@ -89,28 +142,28 @@ func newReport(g *Grid, results []Result) (*Report, error) {
 		if agg.Completion, err = stats.Summarize(completions); err != nil {
 			return nil, err
 		}
-		if agg.latency, err = stats.Summarize(latencies); err != nil {
+		if agg.latency, err = stats.Summarize(a.latencies[name]); err != nil {
 			return nil, err
 		}
-		if len(slowdowns) > 0 {
+		if slowdowns := a.slowdowns[name]; len(slowdowns) > 0 {
 			s, err := stats.Summarize(slowdowns)
 			if err != nil {
 				return nil, err
 			}
 			agg.Slowdown = &s
 		}
-		if g.Timing {
+		if a.g.Timing {
 			lat := agg.latency
 			agg.PlaceLatency = &lat
 		}
-		rep.Algorithms = append(rep.Algorithms, agg)
+		out = append(out, agg)
 	}
-	return rep, nil
+	return out, nil
 }
 
 // WriteJSON encodes the report as indented JSON. The encoding is
 // byte-identical for identical grids and seeds regardless of worker
-// count or host speed.
+// count, host speed or cache state.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -121,7 +174,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"topology", "workload", "algorithm", "seed", "vms", "tasks",
+		"topology", "workload", "algorithm", "seed", "vms", "mean_bytes", "tasks",
 		"completion_seconds", "optimal_seconds", "slowdown",
 	}); err != nil {
 		return err
@@ -139,7 +192,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		row := []string{
 			s.Topology, s.Workload, s.Algorithm,
 			strconv.FormatInt(s.Seed, 10),
-			strconv.Itoa(s.VMs), strconv.Itoa(s.Tasks),
+			strconv.Itoa(s.VMs), strconv.FormatInt(s.MeanBytes, 10), strconv.Itoa(s.Tasks),
 			f(s.CompletionSeconds), fp(s.OptimalSeconds), fp(s.Slowdown),
 		}
 		if err := cw.Write(row); err != nil {
@@ -153,13 +206,23 @@ func (r *Report) WriteCSV(w io.Writer) error {
 // String renders the human-facing summary: one row per algorithm with
 // completion, slowdown and wall-clock placement latency.
 func (r *Report) String() string {
+	return renderSummary(r.Grid, r.Algorithms)
+}
+
+// String renders the same human-facing summary for a streaming run.
+func (s *Summary) String() string {
+	return renderSummary(s.Grid, s.Algorithms)
+}
+
+func renderSummary(grid GridSummary, algorithms []Aggregate) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sweep: %d scenarios (%d topologies x %d workloads x %d algorithms x %d seeds)\n",
-		r.Grid.Scenarios, len(r.Grid.Topologies), len(r.Grid.Workloads),
-		len(r.Grid.Algorithms), len(r.Grid.Seeds))
+	fmt.Fprintf(&b, "sweep: %d scenarios (%d topologies x %d workloads x %d vm-counts x %d sizes x %d algorithms x %d seeds)\n",
+		grid.Scenarios, len(grid.Topologies), len(grid.Workloads),
+		len(grid.VMCounts), len(grid.MeanBytes),
+		len(grid.Algorithms), len(grid.Seeds))
 	fmt.Fprintf(&b, "%-14s %5s %14s %14s %12s %14s\n",
 		"algorithm", "n", "mean compl", "p95 compl", "mean slow", "mean place")
-	for _, a := range r.Algorithms {
+	for _, a := range algorithms {
 		slow := "-"
 		if a.Slowdown != nil {
 			slow = fmt.Sprintf("%.3fx", a.Slowdown.Mean)

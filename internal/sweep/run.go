@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"choreo/internal/core"
@@ -11,6 +13,7 @@ import (
 	"choreo/internal/netsim"
 	"choreo/internal/place"
 	"choreo/internal/profile"
+	"choreo/internal/sweep/envcache"
 	"choreo/internal/topology"
 	"choreo/internal/workload"
 )
@@ -18,14 +21,17 @@ import (
 // Result is one scenario's outcome. Every exported-and-serialized field
 // is a pure function of the grid and the seed; the wall-clock placement
 // latency is kept out of the JSON encoding so reports stay
-// byte-reproducible across runs and worker counts.
+// byte-reproducible across runs, worker counts and cache state.
 type Result struct {
 	Topology  string `json:"topology"`
 	Workload  string `json:"workload"`
 	Algorithm string `json:"algorithm"`
 	Seed      int64  `json:"seed"`
 	VMs       int    `json:"vms"`
-	Tasks     int    `json:"tasks"`
+	// MeanBytes is the swept mean transfer size the cell's workload was
+	// generated with (the recorded sizes for trace workloads).
+	MeanBytes int64 `json:"meanBytes"`
+	Tasks     int   `json:"tasks"`
 	// CompletionSeconds is the application's simulated completion time
 	// under this placement (§6.2's metric, measurement excluded).
 	CompletionSeconds float64 `json:"completionSeconds"`
@@ -46,35 +52,50 @@ type Result struct {
 	PlaceLatency time.Duration `json:"-"`
 }
 
-// cell is one instantiated scenario environment: a fresh simulated
-// cloud, its measured rate matrix and the application to place.
-type cell struct {
-	orch *core.Choreo
-	env  *place.Environment
-	app  *profile.Application
+// cellKey is the scenario's content key in the environment cache: the
+// deterministic cell seed plus every parameter that shapes the built
+// cloud or the placement problem.
+func (g *Grid) cellKey(sc Scenario) envcache.Key {
+	return envcache.Key{
+		Topology:  sc.Topology.Name,
+		Workload:  sc.Workload.Name,
+		CloudSeed: sc.cloudSeed(),
+		VMs:       sc.VMs,
+		MeanBytes: int64(sc.MeanBytes),
+		MinTasks:  g.MinTasks,
+		MaxTasks:  g.MaxTasks,
+		Apps:      g.Apps,
+	}
 }
 
-// buildCell constructs the scenario's cloud and application from the
-// deterministic cell seed. Called once for the algorithm under test and,
-// when the optimal reference is enabled, a second time with the same
-// seed so the reference faces an identical cloud.
-func (g *Grid) buildCell(sc Scenario) (*cell, error) {
-	seed := sc.cloudSeed()
-
-	app, err := g.buildApplication(sc, seed)
-	if err != nil {
-		return nil, err
-	}
-
+// newOrchestrator builds a fresh simulated cloud from the deterministic
+// cell seed: provider fabric, VM allocation and orchestrator. Rebuilding
+// from the same seed yields a bit-identical cloud, which is what lets
+// the cached measurement be reused while every execution still gets a
+// pristine simulator.
+func (g *Grid) newOrchestrator(sc Scenario, seed int64) (*core.Choreo, error) {
 	prov, err := topology.NewProvider(sc.Topology.Profile, seed)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %s: %w", sc.Topology.Name, err)
 	}
-	vms, err := prov.AllocateVMs(g.VMs)
+	vms, err := prov.AllocateVMs(sc.VMs)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: %s: allocating %d VMs: %w", sc.Topology.Name, g.VMs, err)
+		return nil, fmt.Errorf("sweep: %s: allocating %d VMs: %w", sc.Topology.Name, sc.VMs, err)
 	}
-	orch, err := core.New(netsim.New(prov), vms, rand.New(rand.NewSource(seed+1)), core.Options{Model: g.Model})
+	return core.New(netsim.New(prov), vms, rand.New(rand.NewSource(seed+1)), core.Options{Model: g.Model})
+}
+
+// buildCell constructs and measures the scenario's environment: a fresh
+// cloud, its packet-train rate matrix, and the application to place.
+// This is the expensive, cacheable half of a scenario — every algorithm
+// of a cell group (and the optimal reference) shares its output.
+func (g *Grid) buildCell(sc Scenario) (*envcache.Cell, error) {
+	seed := sc.cloudSeed()
+	app, err := g.buildApplication(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	orch, err := g.newOrchestrator(sc, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +103,7 @@ func (g *Grid) buildCell(sc Scenario) (*cell, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: measuring %s: %w", sc.Topology.Name, err)
 	}
-	return &cell{orch: orch, env: env, app: app}, nil
+	return &envcache.Cell{Env: env, App: app}, nil
 }
 
 // buildApplication draws (or replays) the scenario's placement problem.
@@ -102,7 +123,7 @@ func (g *Grid) buildApplication(sc Scenario, seed int64) (*profile.Application, 
 		cfg := workload.Config{
 			MinTasks:  g.MinTasks,
 			MaxTasks:  g.MaxTasks,
-			MeanBytes: g.MeanBytes,
+			MeanBytes: sc.MeanBytes,
 			Patterns:  sc.Workload.Patterns,
 		}
 		n := g.Apps
@@ -128,11 +149,11 @@ func (g *Grid) buildApplication(sc Scenario, seed int64) (*profile.Application, 
 }
 
 // place runs the scenario's placement policy against the measured cell.
-func (g *Grid) place(sc Scenario, c *cell) (place.Placement, error) {
+func (g *Grid) place(sc Scenario, cell *envcache.Cell, exec *core.Choreo) (place.Placement, error) {
 	if !sc.Algorithm.ILP {
-		return c.orch.Place(c.app, c.env, sc.Algorithm.Core)
+		return exec.Place(cell.App, cell.Env, sc.Algorithm.Core)
 	}
-	in, err := placementInput(c.app, c.env)
+	in, err := placementInput(cell.App, cell.Env)
 	if err != nil {
 		return place.Placement{}, err
 	}
@@ -176,20 +197,28 @@ func placementInput(app *profile.Application, env *place.Environment) (*ilp.Plac
 	return in, nil
 }
 
-// runScenario executes one grid cell end to end.
-func (g *Grid) runScenario(sc Scenario) (Result, error) {
-	c, err := g.buildCell(sc)
+// runScenario executes one grid cell end to end: fetch (or build) the
+// measured environment, place with the scenario's algorithm, execute the
+// placement on a freshly rebuilt cloud, and attach the slowdown-vs-
+// optimal reference. A nil cache builds every cell from scratch; either
+// way the result bytes are identical.
+func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
+	cell, err := cache.Get(g.cellKey(sc), func() (*envcache.Cell, error) { return g.buildCell(sc) })
+	if err != nil {
+		return Result{}, err
+	}
+	exec, err := g.newOrchestrator(sc, sc.cloudSeed())
 	if err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
-	p, err := g.place(sc, c)
+	p, err := g.place(sc, cell, exec)
 	latency := time.Since(start)
 	if err != nil {
 		return Result{}, fmt.Errorf("sweep: placing %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
 	}
-	completion, err := c.orch.Execute(c.app, p)
+	completion, err := exec.Execute(cell.App, p)
 	if err != nil {
 		return Result{}, fmt.Errorf("sweep: executing %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
@@ -200,16 +229,27 @@ func (g *Grid) runScenario(sc Scenario) (Result, error) {
 		Workload:          sc.Workload.Name,
 		Algorithm:         sc.Algorithm.Name,
 		Seed:              sc.Seed,
-		VMs:               g.VMs,
-		Tasks:             c.app.Tasks(),
+		VMs:               sc.VMs,
+		MeanBytes:         int64(sc.MeanBytes),
+		Tasks:             cell.App.Tasks(),
 		CompletionSeconds: completion.Seconds(),
 		PlaceLatency:      latency,
 	}
 
-	if g.OptimalMaxTasks > 0 && c.app.Tasks() <= g.OptimalMaxTasks {
-		opt, computed, err := g.optimalReference(sc, res.CompletionSeconds)
-		if err != nil {
-			return Result{}, err
+	if g.OptimalMaxTasks > 0 && cell.App.Tasks() <= g.OptimalMaxTasks {
+		var opt float64
+		var computed bool
+		if sc.Algorithm.Core == core.AlgOptimal && !sc.Algorithm.ILP {
+			// The scenario ran the optimum itself: its own completion is
+			// the reference.
+			opt, computed = res.CompletionSeconds, true
+		} else {
+			opt, computed, err = cell.OptimalReference(func() (float64, bool, error) {
+				return g.computeReference(sc, cell)
+			})
+			if err != nil {
+				return Result{}, err
+			}
 		}
 		if computed {
 			res.OptimalSeconds = &opt
@@ -230,24 +270,18 @@ func (g *Grid) runScenario(sc Scenario) (Result, error) {
 	return res, nil
 }
 
-// optimalReference computes the completion time of the exact optimum —
+// computeReference computes the completion time of the exact optimum —
 // the placement minimizing the paper's *predicted* completion-time
-// objective — on a cloud rebuilt from the same seed, so every algorithm
-// in a cell group is compared against the identical reference. (Because
-// the reference optimizes the prediction, a heuristic can occasionally
-// execute faster than it; slowdowns slightly below 1 are genuine.)
-// Scenarios that ran the optimum themselves reuse their own completion.
-// The second return reports whether a reference was computed at all
-// (branch and bound can exhaust its node budget).
-func (g *Grid) optimalReference(sc Scenario, ownCompletion float64) (float64, bool, error) {
-	if sc.Algorithm.Core == core.AlgOptimal && !sc.Algorithm.ILP {
-		return ownCompletion, true, nil
-	}
-	c, err := g.buildCell(sc)
-	if err != nil {
-		return 0, false, err
-	}
-	p, err := place.Optimal(c.app, c.env, g.Model, g.OptimalMaxNodes)
+// objective — executed on a cloud rebuilt from the same seed, so every
+// algorithm in a cell group is compared against the identical reference.
+// (Because the reference optimizes the prediction, a heuristic can
+// occasionally execute faster than it; slowdowns slightly below 1 are
+// genuine.) The second return reports whether a reference was computed
+// at all (branch and bound can exhaust its node budget). The value is a
+// pure function of the cell, which is what lets Cell.OptimalReference
+// memoize it across the cell group.
+func (g *Grid) computeReference(sc Scenario, cell *envcache.Cell) (float64, bool, error) {
+	p, err := place.Optimal(cell.App, cell.Env, g.Model, g.OptimalMaxNodes)
 	if errors.Is(err, place.ErrSearchBudget) {
 		// The search ran out of nodes: report no reference rather than
 		// a wrong one. Any other failure is real and must surface.
@@ -256,31 +290,149 @@ func (g *Grid) optimalReference(sc Scenario, ownCompletion float64) (float64, bo
 	if err != nil {
 		return 0, false, err
 	}
-	completion, err := c.orch.Execute(c.app, p)
+	ref, err := g.newOrchestrator(sc, sc.cloudSeed())
+	if err != nil {
+		return 0, false, err
+	}
+	completion, err := ref.Execute(cell.App, p)
 	if err != nil {
 		return 0, false, err
 	}
 	return completion.Seconds(), true, nil
 }
 
-// Run expands the grid and executes every scenario across the worker
-// pool, collecting results by expansion index.
-func Run(g Grid, workers int) (*Report, error) {
+// RunOptions configures a sweep execution.
+type RunOptions struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// NoCache disables the environment cache: every scenario rebuilds
+	// and re-measures its own cloud. Results are byte-identical either
+	// way; the knob exists for debugging and for proving exactly that.
+	NoCache bool
+	// Emit, when non-nil, receives every Result in expansion order, each
+	// as soon as it and all its predecessors have completed — the
+	// streaming hook the incremental report writer hangs off.
+	Emit func(Result) error
+}
+
+// RunStream expands the grid and executes every scenario across the
+// worker pool, streaming results through opts.Emit in expansion order
+// and aggregating incrementally. Full Results are not retained; what
+// still grows with grid size is small and flat — the expanded scenario
+// list and a few float64s per scenario for the percentile aggregates —
+// so streaming sweeps are bounded by disk long before memory. Returns
+// the grid echo, per-algorithm aggregates and cache counters.
+func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 	scenarios, err := g.Expand()
 	if err != nil {
 		return nil, err
 	}
-	results := make([]Result, len(scenarios))
-	err = Parallel(len(scenarios), workers, func(i int) error {
-		r, err := g.runScenario(scenarios[i])
+	var cache *envcache.Cache
+	if !opts.NoCache {
+		// Every cell is fetched exactly once per algorithm; the last
+		// fetch evicts, so resident entries track the in-flight set.
+		cache = envcache.New(len(g.Algorithms))
+	}
+
+	agg := newAggregator(&g)
+
+	// Reorder buffer: workers finish out of order, the stream is emitted
+	// in expansion order. Holding completed-but-not-yet-due results in a
+	// map bounds its size by worker skew, not grid size — and once the
+	// run is doomed (a scenario or the emit destination failed, so the
+	// output will be discarded), the buffer is dropped and the rest of
+	// the grid skipped rather than simulated into the void.
+	var mu sync.Mutex
+	pending := make(map[int]Result)
+	next := 0
+	var emitErr error
+	var aborted atomic.Bool
+	deliver := func(i int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if aborted.Load() || emitErr != nil {
+			return
+		}
+		pending[i] = r
+		for {
+			due, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			next++
+			agg.add(due)
+			if opts.Emit != nil {
+				if emitErr = opts.Emit(due); emitErr != nil {
+					// The destination is gone (full disk, closed pipe).
+					aborted.Store(true)
+					pending = nil
+					return
+				}
+			}
+		}
+	}
+
+	err = Parallel(len(scenarios), opts.Workers, func(i int) error {
+		if aborted.Load() {
+			return nil
+		}
+		r, err := g.runScenario(scenarios[i], cache)
 		if err != nil {
+			aborted.Store(true)
+			mu.Lock()
+			pending = nil
+			mu.Unlock()
 			return err
 		}
-		results[i] = r
+		deliver(i, r)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return newReport(&g, results)
+	if emitErr != nil {
+		return nil, fmt.Errorf("sweep: emitting results: %w", emitErr)
+	}
+	aggs, err := agg.aggregates()
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{
+		Grid:       g.summary(len(scenarios)),
+		Algorithms: aggs,
+		Cache:      cache.Stats(),
+	}, nil
+}
+
+// Run expands the grid and executes every scenario across the worker
+// pool, collecting the full per-scenario report in memory (the
+// convenient API for modest grids; RunStream is the bounded-memory one).
+// The environment cache is on.
+func Run(g Grid, workers int) (*Report, error) {
+	return RunCollect(g, RunOptions{Workers: workers})
+}
+
+// RunCollect is Run with full options: it layers result collection on
+// top of RunStream, preserving any caller Emit hook.
+func RunCollect(g Grid, opts RunOptions) (*Report, error) {
+	var results []Result
+	inner := opts.Emit
+	opts.Emit = func(r Result) error {
+		results = append(results, r)
+		if inner != nil {
+			return inner(r)
+		}
+		return nil
+	}
+	sum, err := RunStream(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Grid:       sum.Grid,
+		Scenarios:  results,
+		Algorithms: sum.Algorithms,
+		Cache:      sum.Cache,
+	}, nil
 }

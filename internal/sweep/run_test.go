@@ -2,21 +2,29 @@ package sweep
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"choreo/internal/units"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// goldenGrid is small enough for CI but still crosses every dimension:
-// 2 topologies x 2 workloads x 2 algorithms x 2 seeds = 16 scenarios.
+// goldenGrid is small enough for CI but still crosses every dimension —
+// including a multi-parent fat-tree fabric and a swept transfer size:
+// 2 topologies x 2 workloads x 2 sizes x 2 algorithms x 2 seeds =
+// 32 scenarios over 16 unique cells.
 func goldenGrid() Grid {
-	g := Grid{Seeds: []int64{1, 2}, VMs: 4, MinTasks: 3, MaxTasks: 4}
-	for _, name := range []string{"tworack", "dumbbell"} {
+	g := Grid{
+		Seeds: []int64{1, 2}, VMs: 4, MinTasks: 3, MaxTasks: 4,
+		MeanSizes: []units.ByteSize{8 * units.Megabyte, 32 * units.Megabyte},
+	}
+	for _, name := range []string{"tworack", "fattree-4"} {
 		tp, err := TopologyByName(name)
 		if err != nil {
 			panic(err)
@@ -40,9 +48,9 @@ func goldenGrid() Grid {
 	return g
 }
 
-func reportJSON(t *testing.T, g Grid, workers int) []byte {
+func reportJSONOpts(t *testing.T, g Grid, opts RunOptions) []byte {
 	t.Helper()
-	rep, err := Run(g, workers)
+	rep, err := RunCollect(g, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,18 +61,116 @@ func reportJSON(t *testing.T, g Grid, workers int) []byte {
 	return buf.Bytes()
 }
 
-// TestDeterministicAcrossWorkerCounts is the engine's core guarantee:
-// the same grid and seeds produce byte-identical JSON whether scenarios
-// run sequentially or spread over eight workers. Under -race this also
-// shakes out data races in the pool.
-func TestDeterministicAcrossWorkerCounts(t *testing.T) {
-	g := goldenGrid()
-	sequential := reportJSON(t, g, 1)
+func reportJSON(t *testing.T, g Grid, workers int) []byte {
+	t.Helper()
+	return reportJSONOpts(t, g, RunOptions{Workers: workers})
+}
+
+// TestDeterministicAcrossWorkerCountsAndCache is the engine's core
+// guarantee: the same grid and seeds produce byte-identical JSON whether
+// scenarios run sequentially or spread over eight workers, and whether
+// the environment cache serves the cell group or every scenario rebuilds
+// its own cloud. Under -race this also shakes out data races in the pool
+// and the cache's singleflight path.
+func TestDeterministicAcrossWorkerCountsAndCache(t *testing.T) {
+	sequential := reportJSON(t, goldenGrid(), 1)
 	for _, workers := range []int{2, 8} {
-		parallel := reportJSON(t, goldenGrid(), workers)
+		parallel := reportJSONOpts(t, goldenGrid(), RunOptions{Workers: workers})
 		if !bytes.Equal(sequential, parallel) {
 			t.Fatalf("report differs between -workers 1 and -workers %d", workers)
 		}
+	}
+	for _, workers := range []int{1, 8} {
+		uncached := reportJSONOpts(t, goldenGrid(), RunOptions{Workers: workers, NoCache: true})
+		if !bytes.Equal(sequential, uncached) {
+			t.Fatalf("report differs between cache on and off at -workers %d", workers)
+		}
+	}
+}
+
+// TestEnvCacheBuildsEachCellOnce proves the cell-group sharing: one
+// build-and-measure per unique cell, every other scenario (and the
+// optimal reference) served from the cache.
+func TestEnvCacheBuildsEachCellOnce(t *testing.T) {
+	g := goldenGrid()
+	rep, err := RunCollect(g, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := len(g.Topologies) * len(g.Workloads) * len(g.MeanSizes) * len(g.Seeds)
+	scenarios := cells * len(g.Algorithms)
+	if len(rep.Scenarios) != scenarios {
+		t.Fatalf("ran %d scenarios, want %d", len(rep.Scenarios), scenarios)
+	}
+	if rep.Cache.Misses != int64(cells) {
+		t.Errorf("cache built %d cells, want exactly %d (one per unique cloud)", rep.Cache.Misses, cells)
+	}
+	if want := int64(scenarios - cells); rep.Cache.Hits != want {
+		t.Errorf("cache hits = %d, want %d", rep.Cache.Hits, want)
+	}
+}
+
+// TestStreamWriterDeterministic drives the incremental JSONL pipeline and
+// checks the stream bytes are identical across worker counts and cache
+// states, and structurally sound (header + one line per scenario +
+// aggregates).
+func TestStreamWriterDeterministic(t *testing.T) {
+	stream := func(workers int, noCache bool) string {
+		g := goldenGrid()
+		var buf bytes.Buffer
+		sw := NewStreamWriter(&buf)
+		hdr, err := g.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Header(hdr); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := RunStream(g, RunOptions{Workers: workers, NoCache: noCache, Emit: sw.Result})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Finish(sum.Algorithms); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	base := stream(1, false)
+	for _, v := range []struct {
+		workers int
+		noCache bool
+	}{{8, false}, {1, true}, {8, true}} {
+		if got := stream(v.workers, v.noCache); got != base {
+			t.Fatalf("stream differs at workers=%d noCache=%v", v.workers, v.noCache)
+		}
+	}
+
+	lines := strings.Split(strings.TrimSpace(base), "\n")
+	g := goldenGrid()
+	scenarios, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(scenarios) + 2; len(lines) != want {
+		t.Fatalf("stream has %d lines, want header + %d scenarios + aggregates", len(lines), len(scenarios))
+	}
+	if !strings.HasPrefix(lines[0], `{"grid":`) {
+		t.Errorf("stream header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], `{"topology":`) {
+		t.Errorf("first scenario line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], `{"algorithms":`) {
+		t.Errorf("aggregates line = %q", lines[len(lines)-1])
+	}
+	// Scenario lines arrive in expansion order.
+	var first Result
+	if err := json.Unmarshal([]byte(lines[1]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Topology != scenarios[0].Topology.Name || first.Seed != scenarios[0].Seed {
+		t.Errorf("first streamed scenario %s/%d, want %s/%d",
+			first.Topology, first.Seed, scenarios[0].Topology.Name, scenarios[0].Seed)
 	}
 }
 
@@ -94,17 +200,17 @@ func TestReportShapeAndAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Grid.Scenarios != 16 || len(rep.Scenarios) != 16 {
-		t.Fatalf("got %d scenarios, want 16", len(rep.Scenarios))
+	if rep.Grid.Scenarios != 32 || len(rep.Scenarios) != 32 {
+		t.Fatalf("got %d scenarios, want 32", len(rep.Scenarios))
 	}
 	if len(rep.Algorithms) != 2 {
 		t.Fatalf("got %d aggregates, want 2", len(rep.Algorithms))
 	}
 	for _, a := range rep.Algorithms {
-		if a.Scenarios != 8 {
-			t.Errorf("%s aggregate covers %d scenarios, want 8", a.Algorithm, a.Scenarios)
+		if a.Scenarios != 16 {
+			t.Errorf("%s aggregate covers %d scenarios, want 16", a.Algorithm, a.Scenarios)
 		}
-		if a.Completion.N != 8 || a.Completion.Mean <= 0 {
+		if a.Completion.N != 16 || a.Completion.Mean <= 0 {
 			t.Errorf("%s completion summary looks wrong: %+v", a.Algorithm, a.Completion)
 		}
 		if a.Slowdown == nil || a.Slowdown.Mean <= 0 {
@@ -153,7 +259,7 @@ func TestReportShapeAndAggregates(t *testing.T) {
 		if s.OptimalSeconds == nil {
 			continue
 		}
-		key := fmt.Sprintf("%s/%s/%d", s.Topology, s.Workload, s.Seed)
+		key := fmt.Sprintf("%s/%s/%d/%d/%d", s.Topology, s.Workload, s.VMs, s.MeanBytes, s.Seed)
 		if prev, ok := ref[key]; ok && prev != *s.OptimalSeconds {
 			t.Errorf("cell %s: optimal reference differs across algorithms (%v vs %v)", key, prev, *s.OptimalSeconds)
 		}
@@ -197,6 +303,24 @@ func TestCSVReport(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "tworack,skewed,choreo,1,4,") {
 		t.Errorf("unexpected CSV row %q", lines[1])
+	}
+}
+
+// TestEmitErrorAbortsSweep: a dead stream destination must surface as an
+// error without the engine simulating the rest of the grid first.
+func TestEmitErrorAbortsSweep(t *testing.T) {
+	g := goldenGrid()
+	boom := fmt.Errorf("disk full")
+	emitted := 0
+	_, err := RunStream(g, RunOptions{Workers: 4, Emit: func(Result) error {
+		emitted++
+		return boom
+	}})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("RunStream returned %v, want the emit error", err)
+	}
+	if emitted != 1 {
+		t.Errorf("emit called %d times after failing, want 1", emitted)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"choreo/internal/profile"
+	"choreo/internal/units"
 	"choreo/internal/workload"
 )
 
@@ -18,9 +19,14 @@ func TestExpandOrderAndCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(g.Topologies) * len(g.Workloads) * len(g.Algorithms) * len(g.Seeds)
+	want := len(g.Topologies) * len(g.Workloads) * len(g.VMCounts) * len(g.MeanSizes) *
+		len(g.Algorithms) * len(g.Seeds)
 	if want < 24 {
 		t.Fatalf("default grid has %d scenarios, want >= 24", want)
+	}
+	if len(g.VMCounts) < 2 || len(g.MeanSizes) < 2 {
+		t.Fatalf("default grid should sweep >= 2 VM counts and >= 2 transfer sizes, got %v / %v",
+			g.VMCounts, g.MeanSizes)
 	}
 	if len(scenarios) != want {
 		t.Fatalf("expanded %d scenarios, want %d", len(scenarios), want)
@@ -49,7 +55,8 @@ func TestExpandValidates(t *testing.T) {
 		func(g *Grid) { g.Workloads = nil },
 		func(g *Grid) { g.Algorithms = nil },
 		func(g *Grid) { g.Seeds = nil },
-		func(g *Grid) { g.VMs = 1 },
+		func(g *Grid) { g.VMCounts = []int{1} },
+		func(g *Grid) { g.MeanSizes = []units.ByteSize{0} },
 		func(g *Grid) { g.MinTasks = 5; g.MaxTasks = 3 },
 		func(g *Grid) { g.Workloads = append(g.Workloads, g.Workloads[0]) },
 	}
@@ -85,11 +92,33 @@ func TestCloudSeedDependsOnCellNotAlgorithm(t *testing.T) {
 	if base.cloudSeed() == diffWl.cloudSeed() {
 		t.Error("cloud seed must depend on the workload")
 	}
+	diffVMs := base
+	diffVMs.VMs = base.VMs + 2
+	if base.cloudSeed() == diffVMs.cloudSeed() {
+		t.Error("cloud seed must depend on the VM count")
+	}
+	diffSize := base
+	diffSize.MeanBytes = base.MeanBytes + 1
+	if base.cloudSeed() == diffSize.cloudSeed() {
+		t.Error("cloud seed must depend on the mean transfer size")
+	}
 }
 
 func TestByNameErrors(t *testing.T) {
 	if _, err := TopologyByName("nope"); err == nil || !strings.Contains(err.Error(), "ec2-2013") {
 		t.Errorf("TopologyByName should list valid names, got %v", err)
+	}
+	// Parameterized profiles must reject shapes their builders cannot
+	// produce at name-resolution time, not mid-sweep.
+	for _, bad := range []string{"fattree-3", "fattree-0", "jellyfish-3", "jellyfish-1"} {
+		if _, err := TopologyByName(bad); err == nil {
+			t.Errorf("TopologyByName(%q) should fail", bad)
+		}
+	}
+	for _, good := range []string{"fattree", "fattree-6", "jellyfish", "jellyfish-4"} {
+		if _, err := TopologyByName(good); err != nil {
+			t.Errorf("TopologyByName(%q): %v", good, err)
+		}
 	}
 	if _, err := WorkloadByName("nope"); err == nil || !strings.Contains(err.Error(), "shuffle") {
 		t.Errorf("WorkloadByName should list valid names, got %v", err)
@@ -197,9 +226,15 @@ func TestTraceWorkloadRoundTrip(t *testing.T) {
 	if !strings.HasPrefix(g.Workloads[0].Name, "trace:") {
 		t.Fatalf("trace workload name = %q", g.Workloads[0].Name)
 	}
+	// Traces replay recorded transfers: the swept transfer-size dimension
+	// must not multiply (or perturb) their cells.
+	g.MeanSizes = []units.ByteSize{8 * units.Megabyte, 32 * units.Megabyte}
 	rep, err := Run(g, 2)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 1 {
+		t.Fatalf("trace workload crossed the size dimension: %d scenarios, want 1", len(rep.Scenarios))
 	}
 	wantTasks := 0
 	for _, app := range apps {
@@ -208,6 +243,9 @@ func TestTraceWorkloadRoundTrip(t *testing.T) {
 	for _, s := range rep.Scenarios {
 		if !strings.HasPrefix(s.Workload, "trace:") {
 			t.Errorf("scenario workload = %q", s.Workload)
+		}
+		if s.MeanBytes != 0 {
+			t.Errorf("trace scenario reports meanBytes %d, want 0 (not applicable)", s.MeanBytes)
 		}
 		if s.Tasks != wantTasks {
 			t.Errorf("Apps=0 should replay the whole trace: %d tasks, want %d", s.Tasks, wantTasks)

@@ -17,9 +17,13 @@ import (
 type Profile struct {
 	Name string
 
-	// Fabric shape.
+	// Fabric shape: either a regular multi-rooted tree (Cores + Stages,
+	// built by BuildTree) or an arbitrary builder. When Build is non-nil
+	// it wins and Cores/Stages are ignored — fat-tree and jellyfish
+	// profiles construct fabrics BuildTree cannot express.
 	Cores  int
 	Stages []TreeSpec
+	Build  func() (*Topology, error)
 
 	// Same-host transfers bypass the network and the hose (the paper saw
 	// ~4 Gbit/s on paths it concluded were intra-host).
@@ -64,11 +68,13 @@ type Profile struct {
 }
 
 func (p Profile) validate() error {
-	if p.Cores < 1 {
-		return fmt.Errorf("topology: profile %q: cores %d < 1", p.Name, p.Cores)
-	}
-	if len(p.Stages) == 0 {
-		return fmt.Errorf("topology: profile %q: no stages", p.Name)
+	if p.Build == nil {
+		if p.Cores < 1 {
+			return fmt.Errorf("topology: profile %q: cores %d < 1", p.Name, p.Cores)
+		}
+		if len(p.Stages) == 0 {
+			return fmt.Errorf("topology: profile %q: no stages", p.Name)
+		}
 	}
 	if p.MaxVMsPerHost < 1 {
 		return fmt.Errorf("topology: profile %q: MaxVMsPerHost %d < 1", p.Name, p.MaxVMsPerHost)

@@ -6,17 +6,22 @@
 // profiles (EC2 May 2012, EC2 May 2013, Rackspace) used throughout the
 // reproduction.
 //
-// The graph is intentionally simple: every node except the members of the
-// top tier has exactly one parent, and members of the tier directly below
-// the top connect to every top (core) switch. Equal-cost core choice is
-// made by a deterministic hash of the communicating pair, which mirrors
-// ECMP flow hashing closely enough for Choreo's purposes (the paper's
-// bottleneck rules already note that two subtree-crossing paths "may not
-// interfere" because ECMP can split them).
+// Fabrics come in two flavours. Hierarchical fabrics (the provider trees,
+// fat trees) are layered: links only run between adjacent tiers, but a
+// node may have several parents (a fat-tree ToR uplinks to every pod
+// aggregation switch). Routing goes up to the lowest tier where the two
+// hosts share an ancestor and back down, choosing among equal-cost
+// ancestors and links by a deterministic hash of the communicating pair —
+// which mirrors ECMP flow hashing closely enough for Choreo's purposes
+// (the paper's bottleneck rules already note that two subtree-crossing
+// paths "may not interfere" because ECMP can split them). Mesh fabrics
+// (jellyfish) additionally wire switches to peers in the same tier; they
+// route on shortest paths with the same deterministic tie-break.
 package topology
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"choreo/internal/units"
@@ -82,6 +87,13 @@ type Topology struct {
 	linkIndex map[[2]NodeID]LinkID
 	hosts     []NodeID
 	levels    int
+
+	// mesh is set once a peer (same-tier) link exists; such fabrics route
+	// on shortest paths instead of up/down tiers.
+	mesh bool
+	// adj caches the per-node neighbour lists for mesh routing; built
+	// lazily on first route (topologies are used single-goroutine).
+	adj [][]NodeID
 }
 
 // New returns an empty topology.
@@ -110,6 +122,20 @@ func (t *Topology) AddDuplex(child, parent NodeID, capacity units.Rate, latency 
 	t.Nodes[child].Up = append(t.Nodes[child].Up, parent)
 	t.Nodes[parent].Down = append(t.Nodes[parent].Down, child)
 }
+
+// AddPeerDuplex wires two same-tier nodes with a duplex cable, as jellyfish
+// fabrics do between their switches. Peer links carry no parent/child
+// relationship and switch the whole topology to mesh (shortest-path)
+// routing.
+func (t *Topology) AddPeerDuplex(a, b NodeID, capacity units.Rate, latency time.Duration) {
+	t.addLink(a, b, capacity, latency)
+	t.addLink(b, a, capacity, latency)
+	t.mesh = true
+}
+
+// Mesh reports whether the fabric contains peer links and therefore routes
+// on shortest paths rather than up/down tiers.
+func (t *Topology) Mesh() bool { return t.mesh }
 
 func (t *Topology) addLink(from, to NodeID, capacity units.Rate, latency time.Duration) LinkID {
 	id := LinkID(len(t.Links))
@@ -146,9 +172,17 @@ func (t *Topology) ancestors(n NodeID) []NodeID {
 	return chain
 }
 
-// HostRoute computes the directed links from one host to another using
-// up/down tree routing. The pairKey selects among equal-cost cores
-// deterministically. It returns nil for a host routed to itself.
+// HostRoute computes the directed links from one host to another. The
+// pairKey selects deterministically among equal-cost choices (cores in a
+// provider tree, aggregation planes in a fat tree, shortest paths in a
+// jellyfish mesh). It returns nil for a host routed to itself.
+//
+// Hierarchical fabrics route up/down: climb to the lowest tier where the
+// two hosts share an ancestor, cross there, and descend. Because a node
+// may have several parents (fat-tree ToRs uplink to every pod aggregation
+// switch), ancestors are tracked as per-tier sets rather than a single
+// chain; within a tier, candidates are ordered by node ID so the pairKey
+// pick is stable across rebuilds of the same fabric.
 func (t *Topology) HostRoute(src, dst NodeID, pairKey uint64) ([]LinkID, error) {
 	if src == dst {
 		return nil, nil
@@ -157,20 +191,35 @@ func (t *Topology) HostRoute(src, dst NodeID, pairKey uint64) ([]LinkID, error) 
 		return nil, fmt.Errorf("topology: route endpoints must be hosts, got %v and %v",
 			t.Nodes[src].Kind, t.Nodes[dst].Kind)
 	}
-	up := t.ancestors(src)
-	down := t.ancestors(dst)
-
-	// Look for the lowest common ancestor within the single-parent chains.
-	pos := make(map[NodeID]int, len(down))
-	for i, n := range down {
-		pos[n] = i
+	if t.mesh {
+		return t.meshRoute(src, dst, pairKey)
 	}
-	lcaUp, lcaDown := -1, -1
-	for i, n := range up {
-		if j, ok := pos[n]; ok {
-			lcaUp, lcaDown = i, j
+
+	upSrc := t.reachUp(src)
+	upDst := t.reachUp(dst)
+
+	// Find the lowest tier where the two ancestor sets intersect.
+	var meets []NodeID
+	for l := 0; l < t.levels; l++ {
+		if meets = intersectSorted(upSrc[l], upDst[l]); len(meets) > 0 {
 			break
 		}
+	}
+	if len(meets) == 0 {
+		return nil, fmt.Errorf("topology: hosts %s and %s share no ancestor",
+			t.Nodes[src].Name, t.Nodes[dst].Name)
+	}
+	meet := meets[int(pairKey%uint64(len(meets)))]
+
+	// The meet-to-endpoint walks stay inside each endpoint's ancestor
+	// sets, so every step has at least one candidate child.
+	upNodes, err := t.descendWithin(meet, src, upSrc, pairKey)
+	if err != nil {
+		return nil, err
+	}
+	downNodes, err := t.descendWithin(meet, dst, upDst, pairKey)
+	if err != nil {
+		return nil, err
 	}
 
 	var path []LinkID
@@ -183,49 +232,166 @@ func (t *Topology) HostRoute(src, dst NodeID, pairKey uint64) ([]LinkID, error) 
 		path = append(path, id)
 		return nil
 	}
-
-	if lcaUp >= 0 {
-		// Stay inside the subtree: climb to the LCA, then descend.
-		for i := 0; i+1 <= lcaUp; i++ {
-			if err := appendHop(up[i], up[i+1]); err != nil {
-				return nil, err
-			}
-		}
-		for i := lcaDown; i >= 1; i-- {
-			if err := appendHop(down[i], down[i-1]); err != nil {
-				return nil, err
-			}
-		}
-		return path, nil
-	}
-
-	// Cross the top tier: climb both chains fully, cross via a core chosen
-	// by the pair key.
-	topSrc := up[len(up)-1]
-	cores := t.Nodes[topSrc].Up
-	if len(cores) == 0 {
-		return nil, fmt.Errorf("topology: hosts %s and %s share no ancestor and %s has no core uplinks",
-			t.Nodes[src].Name, t.Nodes[dst].Name, t.Nodes[topSrc].Name)
-	}
-	core := cores[int(pairKey%uint64(len(cores)))]
-	for i := 0; i+1 < len(up); i++ {
-		if err := appendHop(up[i], up[i+1]); err != nil {
+	for i := len(upNodes) - 1; i >= 1; i-- {
+		if err := appendHop(upNodes[i], upNodes[i-1]); err != nil {
 			return nil, err
 		}
 	}
-	if err := appendHop(topSrc, core); err != nil {
-		return nil, err
-	}
-	topDst := down[len(down)-1]
-	if err := appendHop(core, topDst); err != nil {
-		return nil, err
-	}
-	for i := len(down) - 1; i >= 1; i-- {
-		if err := appendHop(down[i], down[i-1]); err != nil {
+	for i := 0; i+1 < len(downNodes); i++ {
+		if err := appendHop(downNodes[i], downNodes[i+1]); err != nil {
 			return nil, err
 		}
 	}
 	return path, nil
+}
+
+// reachUp returns, per tier, the sorted set of nodes reachable from n by
+// climbing Up links. Tier l of the result holds n's ancestors at level l
+// (level levels-1 being the top). Builders keep parent levels exactly one
+// above their children's, which this walk relies on.
+func (t *Topology) reachUp(n NodeID) [][]NodeID {
+	out := make([][]NodeID, t.levels)
+	frontier := []NodeID{n}
+	level := t.Nodes[n].Level
+	out[level] = frontier
+	for level+1 < t.levels && len(frontier) > 0 {
+		seen := make(map[NodeID]bool)
+		var next []NodeID
+		for _, id := range frontier {
+			for _, up := range t.Nodes[id].Up {
+				if !seen[up] {
+					seen[up] = true
+					next = append(next, up)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		level++
+		out[level] = next
+		frontier = next
+	}
+	return out
+}
+
+// descendWithin walks from top down to bottom, at each tier choosing by
+// pairKey among top's children that are also ancestors of bottom (members
+// of reach, bottom's per-tier ancestor sets). The returned slice runs
+// [top, ..., bottom].
+func (t *Topology) descendWithin(top, bottom NodeID, reach [][]NodeID, pairKey uint64) ([]NodeID, error) {
+	nodes := []NodeID{top}
+	cur := top
+	for cur != bottom {
+		level := t.Nodes[cur].Level
+		if level == 0 {
+			return nil, fmt.Errorf("topology: no downward path from %s to %s",
+				t.Nodes[top].Name, t.Nodes[bottom].Name)
+		}
+		var cands []NodeID
+		for _, w := range t.Nodes[cur].Down {
+			if containsSorted(reach[level-1], w) {
+				cands = append(cands, w)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("topology: no downward path from %s to %s",
+				t.Nodes[top].Name, t.Nodes[bottom].Name)
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		cur = cands[int(pairKey%uint64(len(cands)))]
+		nodes = append(nodes, cur)
+	}
+	return nodes, nil
+}
+
+// meshRoute routes src to dst on a shortest path of the (undirected) link
+// graph, breaking ties among equal-cost next hops by pairKey over
+// ID-sorted candidates — deterministic ECMP for jellyfish-class fabrics.
+func (t *Topology) meshRoute(src, dst NodeID, pairKey uint64) ([]LinkID, error) {
+	adj := t.adjacency()
+
+	// Distance-to-dst by BFS; duplex cables make the graph symmetric.
+	const unreached = -1
+	dist := make([]int, len(t.Nodes))
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[dst] = 0
+	queue := []NodeID{dst}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[cur] {
+			if dist[w] == unreached {
+				dist[w] = dist[cur] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	if dist[src] == unreached {
+		return nil, fmt.Errorf("topology: hosts %s and %s are disconnected",
+			t.Nodes[src].Name, t.Nodes[dst].Name)
+	}
+
+	var path []LinkID
+	cur := src
+	for cur != dst {
+		var cands []NodeID
+		for _, w := range adj[cur] {
+			if dist[w] == dist[cur]-1 {
+				cands = append(cands, w)
+			}
+		}
+		next := cands[int(pairKey%uint64(len(cands)))]
+		id, ok := t.LinkBetween(cur, next)
+		if !ok {
+			return nil, fmt.Errorf("topology: no link %s -> %s",
+				t.Nodes[cur].Name, t.Nodes[next].Name)
+		}
+		path = append(path, id)
+		cur = next
+	}
+	return path, nil
+}
+
+// adjacency returns per-node neighbour lists sorted by ID, built lazily
+// from the link table.
+func (t *Topology) adjacency() [][]NodeID {
+	if t.adj != nil {
+		return t.adj
+	}
+	adj := make([][]NodeID, len(t.Nodes))
+	for _, l := range t.Links {
+		adj[l.From] = append(adj[l.From], l.To)
+	}
+	for i := range adj {
+		sort.Slice(adj[i], func(a, b int) bool { return adj[i][a] < adj[i][b] })
+	}
+	t.adj = adj
+	return adj
+}
+
+// intersectSorted returns the elements common to two ascending slices.
+func intersectSorted(a, b []NodeID) []NodeID {
+	var out []NodeID
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// containsSorted reports whether an ascending slice contains id.
+func containsSorted(s []NodeID, id NodeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
 }
 
 // RouteLatency sums the one-way latency of the links.

@@ -53,7 +53,11 @@ func NewProvider(profile Profile, seed int64) (*Provider, error) {
 	if err := profile.validate(); err != nil {
 		return nil, err
 	}
-	topo, err := BuildTree(profile.Cores, profile.Stages)
+	build := profile.Build
+	if build == nil {
+		build = func() (*Topology, error) { return BuildTree(profile.Cores, profile.Stages) }
+	}
+	topo, err := build()
 	if err != nil {
 		return nil, err
 	}
