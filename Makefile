@@ -4,7 +4,7 @@
 GO  ?= go
 BIN ?= bin
 
-.PHONY: all build test bench lint sweep-smoke clean
+.PHONY: all build test bench lint sweep-smoke sweep-shard-smoke golden clean
 
 all: build
 
@@ -41,10 +41,35 @@ sweep-smoke: build
 	cmp $(BIN)/sweep-w1.json $(BIN)/sweep-w8.json
 	$(BIN)/choreo sweep -workers 8 -cache=false -out $(BIN)/sweep-nocache.json
 	cmp $(BIN)/sweep-w1.json $(BIN)/sweep-nocache.json
-	$(BIN)/choreo sweep -workers 1 -stream $(BIN)/sweep-s1.jsonl
-	$(BIN)/choreo sweep -workers 8 -stream $(BIN)/sweep-s8.jsonl
+	$(BIN)/choreo sweep -workers 1 -stream -out $(BIN)/sweep-s1.jsonl
+	$(BIN)/choreo sweep -workers 8 -stream -out $(BIN)/sweep-s8.jsonl
 	cmp $(BIN)/sweep-s1.jsonl $(BIN)/sweep-s8.jsonl
 	@echo "sweep output is byte-identical across worker counts and cache states"
+
+# The distributed-sweep acceptance check: the default grid run as 3
+# shards and merged must be byte-identical to the unsharded stream, and
+# resuming a truncated shard must complete it byte-identically while
+# re-running only the missing cells.
+sweep-shard-smoke: build
+	$(BIN)/choreo sweep -workers 8 -stream -out $(BIN)/sweep-full.jsonl
+	for i in 1 2 3; do \
+		$(BIN)/choreo sweep -workers 8 -shard $$i/3 -out $(BIN)/sweep-shard$$i.jsonl || exit 1; \
+	done
+	$(BIN)/choreo merge -out $(BIN)/sweep-merged.jsonl \
+		$(BIN)/sweep-shard1.jsonl $(BIN)/sweep-shard2.jsonl $(BIN)/sweep-shard3.jsonl
+	cmp $(BIN)/sweep-full.jsonl $(BIN)/sweep-merged.jsonl
+	head -c $$(($$(wc -c < $(BIN)/sweep-shard2.jsonl) * 2 / 3)) $(BIN)/sweep-shard2.jsonl \
+		> $(BIN)/sweep-shard2-cut.jsonl
+	$(BIN)/choreo sweep -workers 8 -shard 2/3 -resume $(BIN)/sweep-shard2-cut.jsonl \
+		-out $(BIN)/sweep-shard2-resumed.jsonl
+	cmp $(BIN)/sweep-shard2.jsonl $(BIN)/sweep-shard2-resumed.jsonl
+	@echo "3-shard merge is byte-identical to the unsharded stream; resume completed the truncated shard"
+
+# Regenerate the sweep engine's golden report after an intended grid or
+# engine change, then re-run the test to prove the new golden holds.
+golden:
+	$(GO) test ./internal/sweep -run TestGoldenJSONReport -update
+	$(GO) test ./internal/sweep -run TestGoldenJSONReport
 
 clean:
 	rm -rf $(BIN)

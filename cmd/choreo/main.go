@@ -23,6 +23,14 @@
 //	    expand and run a scenario grid (topology × workload × algorithm ×
 //	    seed) across a worker pool; write a deterministic JSON report
 //	    (byte-identical for any -workers value) and an optional CSV.
+//	    -stream writes incremental JSONL; -shard i/n runs one
+//	    deterministic slice of the grid as a self-describing shard file;
+//	    -resume skips scenarios already present in a prior JSONL run.
+//
+//	choreo merge -out merged.jsonl shard1.jsonl shard2.jsonl shard3.jsonl
+//	    validate n shard files (same grid, disjoint coverage, no gaps)
+//	    and splice them into one report, byte-identical to the unsharded
+//	    `choreo sweep -stream` run of the same grid.
 package main
 
 import (
@@ -57,6 +65,8 @@ func main() {
 		err = runPlace(os.Args[2:])
 	case "sweep":
 		err = runSweep(os.Args[2:])
+	case "merge":
+		err = runMerge(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -71,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: choreo <simulate|measure|place|sweep> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: choreo <simulate|measure|place|sweep|merge> [flags]")
 }
 
 func profileByName(name string) (choreo.Profile, error) {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"choreo/internal/sweep/shard"
+)
+
+// runMerge validates n JSONL shard files from `choreo sweep -shard i/n`
+// against each other (same grid hash, complete 1..n set, disjoint
+// coverage, no gaps, no truncation) and splices their result lines back
+// into expansion order, recomputing the final aggregates line. The
+// merged output is byte-identical to the unsharded
+// `choreo sweep -stream` report for the same grid — CI diffs the two to
+// enforce exactly that.
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	outPath := fs.String("out", "-", "merged JSONL report destination ('-' = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: choreo merge [-out merged.jsonl] shard1.jsonl shard2.jsonl ...")
+	}
+	shards := make([]*shard.Shard, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sh, err := shard.ReadShard(path, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		shards = append(shards, sh)
+	}
+	return writeTo(*outPath, func(w io.Writer) error {
+		sum, err := shard.Merge(w, shards)
+		if err != nil {
+			return err
+		}
+		// Human summary on stderr so stdout stays machine-parseable.
+		fmt.Fprintf(os.Stderr, "merged %d shards\n", len(shards))
+		fmt.Fprint(os.Stderr, sum.String())
+		return nil
+	})
+}

@@ -11,6 +11,7 @@ import (
 
 	"choreo/internal/place"
 	"choreo/internal/sweep"
+	"choreo/internal/sweep/shard"
 	"choreo/internal/units"
 	"choreo/internal/workload"
 )
@@ -21,7 +22,12 @@ import (
 // byte-identical output regardless of -workers and -cache (CI diffs
 // -workers 1 against -workers 8 to enforce exactly that). The default
 // collecting mode holds every scenario in memory; -stream switches to
-// the incremental JSON-lines pipeline for grids too large for that.
+// the incremental JSON-lines pipeline for grids too large for that;
+// -shard i/n runs one deterministic slice of the grid as a
+// self-describing JSONL shard for `choreo merge`; -resume skips every
+// scenario that already has a result line in a prior (possibly
+// interrupted) JSONL run. All human-facing progress goes to stderr, so
+// `-out -` composes in shell pipelines.
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	topologies := fs.String("topologies", "ec2-2013,rackspace,fattree-4,jellyfish-12", "comma-separated provider profiles (see -list)")
@@ -39,14 +45,19 @@ func runSweep(args []string) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (0 = GOMAXPROCS)")
 	optMaxTasks := fs.Int("optimal-max-tasks", 6, "compute the slowdown-vs-optimal reference up to this many tasks (0 disables)")
 	timing := fs.Bool("timing", false, "add wall-clock placement-latency aggregates (nondeterministic)")
-	outPath := fs.String("out", "-", "JSON report destination ('-' = stdout)")
-	csvPath := fs.String("csv", "", "also write a per-scenario CSV report here")
-	streamPath := fs.String("stream", "", "write an incremental JSON-lines report here ('-' = stdout) instead of collecting; excludes -out/-csv")
+	outPath := fs.String("out", "-", "report destination ('-' = stdout): JSON, or JSONL with -stream/-shard")
+	csvPath := fs.String("csv", "", "also write a per-scenario CSV report here (collecting mode only)")
+	stream := fs.Bool("stream", false, "write an incremental JSON-lines report to -out instead of collecting; excludes -csv")
+	shardSpec := fs.String("shard", "", "run slice i/n of the grid (e.g. 2/3) and write a self-describing JSONL shard to -out for `choreo merge`")
+	resumePath := fs.String("resume", "", "JSONL report or shard from a prior (possibly interrupted) run with the same flags; scenarios that already have a result line are not re-executed")
 	cache := fs.Bool("cache", true, "share one built-and-measured cloud across each cell's algorithms and optimal reference")
 	cacheStats := fs.Bool("cache-stats", false, "print environment-cache hit/miss counters to stderr")
 	list := fs.Bool("list", false, "list valid topologies, workloads and algorithms, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("sweep: unexpected arguments %q (-stream is a mode switch; the destination is -out)", fs.Args())
 	}
 	if *list {
 		printSweepLists(os.Stdout)
@@ -120,14 +131,42 @@ func runSweep(args []string) error {
 
 	opts := sweep.RunOptions{Workers: *workers, NoCache: !*cache}
 
-	if *streamPath != "" {
-		if *outPath != "-" || *csvPath != "" {
-			return fmt.Errorf("-stream does not retain scenarios; drop -out/-csv")
+	if *resumePath != "" {
+		if *timing {
+			return fmt.Errorf("-timing is incompatible with -resume (wall-clock latency does not survive JSONL)")
 		}
-		if err := streamSweep(g, opts, *streamPath, *cacheStats); err != nil {
+		f, err := os.Open(*resumePath)
+		if err != nil {
 			return err
 		}
-		return nil
+		prior, err := shard.LoadPrior(g, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *resumePath, err)
+		}
+		opts.Prefilled = prior
+		fmt.Fprintf(os.Stderr, "resume: %d scenarios already have results in %s\n", len(prior), *resumePath)
+	}
+
+	if *shardSpec != "" {
+		if *timing {
+			return fmt.Errorf("-timing is incompatible with -shard (wall-clock latency does not survive merge)")
+		}
+		if *csvPath != "" {
+			return fmt.Errorf("-shard emits a JSONL shard; drop -csv")
+		}
+		spec, err := shard.ParseSpec(*shardSpec)
+		if err != nil {
+			return err
+		}
+		return streamShard(g, opts, spec, *outPath, *cacheStats)
+	}
+
+	if *stream {
+		if *csvPath != "" {
+			return fmt.Errorf("-stream does not retain scenarios; drop -csv")
+		}
+		return streamSweep(g, opts, *outPath, *cacheStats)
 	}
 
 	rep, err := sweep.RunCollect(g, opts)
@@ -171,6 +210,43 @@ func streamSweep(g sweep.Grid, opts sweep.RunOptions, dest string, cacheStats bo
 		if err := sw.Finish(sum.Algorithms); err != nil {
 			return err
 		}
+		fmt.Fprint(os.Stderr, sum.String())
+		if cacheStats {
+			printCacheStats(sum.Cache.Hits, sum.Cache.Misses)
+		}
+		return nil
+	})
+}
+
+// streamShard runs one planned slice of the grid and writes it as a
+// self-describing JSONL shard: the full grid echo, the shard
+// coordinates + grid hash, this slice's results in expansion order, and
+// a completeness footer. `choreo merge` splices n such files back into
+// the exact bytes of the unsharded streaming run.
+func streamShard(g sweep.Grid, opts sweep.RunOptions, spec shard.Spec, dest string, cacheStats bool) error {
+	include, err := shard.Plan(g, spec)
+	if err != nil {
+		return err
+	}
+	hdr, err := g.Summary()
+	if err != nil {
+		return err
+	}
+	return writeTo(dest, func(w io.Writer) error {
+		sw, err := shard.NewWriter(w, hdr, spec, len(include))
+		if err != nil {
+			return err
+		}
+		opts.Include = func(i int) bool { return include[i] }
+		opts.Emit = sw.Result
+		sum, err := sweep.RunStream(g, opts)
+		if err != nil {
+			return err
+		}
+		if err := sw.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "shard %s: %d of %d scenarios\n", spec, len(include), hdr.Scenarios)
 		fmt.Fprint(os.Stderr, sum.String())
 		if cacheStats {
 			printCacheStats(sum.Cache.Hits, sum.Cache.Misses)

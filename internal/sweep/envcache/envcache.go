@@ -15,6 +15,14 @@
 // declares how many times each cell will be used; the last use releases
 // the entry, bounding memory to the in-flight working set on large
 // streaming sweeps).
+//
+// The use declaration comes in two forms. New(n) plans a uniform n
+// fetches for every key — right for a full sweep, where every cell is
+// visited once per algorithm. NewPlanned(uses) plans an exact per-key
+// count — required for partial runs (a shard holding only part of a
+// cell group, or a resume that re-runs a subset of a cell's
+// algorithms), where a uniform count would either leave entries pinned
+// forever or evict them before their last use.
 package envcache
 
 import (
@@ -70,10 +78,14 @@ func (c *Cell) OptimalReference(compute func() (float64, bool, error)) (float64,
 
 // Stats counts cache traffic. Misses is the number of cells actually
 // built; a sweep over U unique cells with S scenarios proves the sharing
-// worked when Misses == U and Hits == S - U.
+// worked when Misses == U and Hits == S - U. Resident is the number of
+// entries still cached when the snapshot was taken: a finished
+// refcounted run must report zero, so a non-zero value means the use
+// plan over-counted and pinned memory.
 type Stats struct {
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Resident int   `json:"resident"`
 }
 
 // entry is one cached cell with its build-once latch and remaining-use
@@ -90,6 +102,7 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
 	uses    int
+	planned map[Key]int
 	hits    atomic.Int64
 	misses  atomic.Int64
 }
@@ -99,6 +112,37 @@ type Cache struct {
 // (entries live for the cache's lifetime).
 func New(usesPerKey int) *Cache {
 	return &Cache{entries: make(map[Key]*entry), uses: usesPerKey}
+}
+
+// NewPlanned returns a cache with an exact per-key use plan: key k will
+// be fetched uses[k] times, and its k-th fetch evicts the entry. Keys
+// outside the plan are built on every fetch and never cached (each such
+// fetch counts as a miss). This is the accounting a partial run needs —
+// a shard or resume whose scenario subset touches some cells fewer
+// times than the full grid would must neither pin those entries forever
+// nor evict them early.
+func NewPlanned(uses map[Key]int) *Cache {
+	planned := make(map[Key]int, len(uses))
+	for k, n := range uses {
+		planned[k] = n
+	}
+	return &Cache{entries: make(map[Key]*entry), planned: planned}
+}
+
+// expectedUses is the declared fetch budget for key; 0 under a per-key
+// plan means the key is unplanned.
+func (c *Cache) expectedUses(key Key) int {
+	if c.planned != nil {
+		return c.planned[key]
+	}
+	return c.uses
+}
+
+// refcounted reports whether fetches consume a declared budget. Uniform
+// caches with usesPerKey <= 0 pin entries forever; planned caches always
+// refcount.
+func (c *Cache) refcounted() bool {
+	return c.planned != nil || c.uses > 0
 }
 
 // Get returns the cell for key, building it with build on first request.
@@ -112,13 +156,13 @@ func (c *Cache) Get(key Key, build func() (*Cell, error)) (*Cell, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &entry{remaining: c.uses}
+		e = &entry{remaining: c.expectedUses(key)}
 		c.entries[key] = e
 		c.misses.Add(1)
 	} else {
 		c.hits.Add(1)
 	}
-	if c.uses > 0 {
+	if c.refcounted() {
 		e.remaining--
 		if e.remaining <= 0 {
 			delete(c.entries, key)
@@ -132,13 +176,14 @@ func (c *Cache) Get(key Key, build func() (*Cell, error)) (*Cell, error) {
 	return e.cell, e.err
 }
 
-// Stats returns the cumulative hit/miss counters (they survive eviction).
-// Safe on a nil cache, which reports zeros.
+// Stats returns the cumulative hit/miss counters (they survive eviction)
+// plus a snapshot of the resident entry count. Safe on a nil cache,
+// which reports zeros.
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Resident: c.Len()}
 }
 
 // Len reports the number of currently resident entries (for tests: with

@@ -84,6 +84,85 @@ func TestEvictionAfterDeclaredUses(t *testing.T) {
 	}
 }
 
+// TestPlannedUsesEvictExactly is the partial-cell-group accounting: a
+// shard or resume fetches some keys fewer times than the full grid
+// would, and the per-key plan must release each entry on exactly its
+// last planned fetch — nothing pinned, nothing evicted early.
+func TestPlannedUsesEvictExactly(t *testing.T) {
+	c := NewPlanned(map[Key]int{key(1): 3, key(2): 1})
+	var builds atomic.Int64
+	build := func() (*Cell, error) { builds.Add(1); return &Cell{}, nil }
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(key(1), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("key with 1 of 3 planned uses left must stay resident, Len = %d", c.Len())
+	}
+	if _, err := c.Get(key(1), build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(key(2), build); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 2 {
+		t.Errorf("2 planned keys built %d times, want 2", builds.Load())
+	}
+	if c.Len() != 0 {
+		t.Errorf("all planned uses consumed, yet %d entries still resident (pinned)", c.Len())
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 || s.Resident != 0 {
+		t.Errorf("stats = %+v, want 2 hits / 2 misses / 0 resident", s)
+	}
+}
+
+// TestPlannedUnplannedKeyNeverCached: a fetch outside the plan builds
+// every time and leaves nothing resident, rather than corrupting the
+// accounting of planned entries.
+func TestPlannedUnplannedKeyNeverCached(t *testing.T) {
+	c := NewPlanned(map[Key]int{key(1): 1})
+	var builds atomic.Int64
+	build := func() (*Cell, error) { builds.Add(1); return &Cell{}, nil }
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(key(9), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds.Load() != 2 {
+		t.Errorf("unplanned key built %d times, want 2 (never cached)", builds.Load())
+	}
+	if c.Len() != 0 {
+		t.Errorf("unplanned key left %d entries resident", c.Len())
+	}
+}
+
+// TestUniformCountPinsPartialGroup documents why partial runs need the
+// per-key plan: a uniform declaration over-counts keys the run touches
+// fewer times, leaving them resident (pinned) at the end.
+func TestUniformCountPinsPartialGroup(t *testing.T) {
+	uniform := New(3)
+	build := func() (*Cell, error) { return &Cell{}, nil }
+	if _, err := uniform.Get(key(1), build); err != nil {
+		t.Fatal(err)
+	}
+	if uniform.Len() != 1 {
+		t.Fatalf("uniform cache after partial group: Len = %d, want 1 (pinned)", uniform.Len())
+	}
+	if s := uniform.Stats(); s.Resident != 1 {
+		t.Errorf("Stats.Resident = %d, want 1 to expose the pin", s.Resident)
+	}
+	planned := NewPlanned(map[Key]int{key(1): 1})
+	if _, err := planned.Get(key(1), build); err != nil {
+		t.Fatal(err)
+	}
+	if planned.Len() != 0 {
+		t.Errorf("planned cache after partial group: Len = %d, want 0", planned.Len())
+	}
+}
+
 func TestNilCacheBuildsEveryTime(t *testing.T) {
 	var c *Cache
 	var builds atomic.Int64

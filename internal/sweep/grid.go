@@ -306,6 +306,45 @@ func (g *Grid) Validate() error {
 		}
 		seen[w.Name] = true
 	}
+	// Duplicate topology or algorithm names would give two scenarios the
+	// same identity (topology, workload, algorithm, seed, VMs, size) —
+	// their result lines would be indistinguishable, which breaks shard
+	// merging and resume as well as the reader.
+	seenTopo := map[string]bool{}
+	for _, tp := range g.Topologies {
+		if seenTopo[tp.Name] {
+			return fmt.Errorf("sweep: duplicate topology %q", tp.Name)
+		}
+		seenTopo[tp.Name] = true
+	}
+	seenAlg := map[string]bool{}
+	for _, a := range g.Algorithms {
+		if seenAlg[a.Name] {
+			return fmt.Errorf("sweep: duplicate algorithm %q", a.Name)
+		}
+		seenAlg[a.Name] = true
+	}
+	seenSeed := map[int64]bool{}
+	for _, s := range g.Seeds {
+		if seenSeed[s] {
+			return fmt.Errorf("sweep: duplicate seed %d", s)
+		}
+		seenSeed[s] = true
+	}
+	seenVMs := map[int]bool{}
+	for _, vms := range g.VMCounts {
+		if seenVMs[vms] {
+			return fmt.Errorf("sweep: duplicate VM count %d", vms)
+		}
+		seenVMs[vms] = true
+	}
+	seenSize := map[units.ByteSize]bool{}
+	for _, size := range g.MeanSizes {
+		if seenSize[size] {
+			return fmt.Errorf("sweep: duplicate mean transfer size %v", size)
+		}
+		seenSize[size] = true
+	}
 	return nil
 }
 

@@ -55,7 +55,11 @@ type Summary struct {
 	Cache      envcache.Stats `json:"-"`
 }
 
-// GridSummary is the serializable echo of a Grid.
+// GridSummary is the serializable echo of a Grid. It carries every knob
+// that shapes result lines — the swept dimensions plus the scalar
+// generation and reference bounds — because shard merging and resume
+// compare (and hash) this echo to refuse combining runs produced under
+// different flags.
 type GridSummary struct {
 	Topologies []string `json:"topologies"`
 	Workloads  []string `json:"workloads"`
@@ -64,7 +68,15 @@ type GridSummary struct {
 	VMCounts   []int    `json:"vms"`
 	MeanBytes  []int64  `json:"meanBytes"`
 	Apps       int      `json:"apps"`
-	Scenarios  int      `json:"scenarios"`
+	MinTasks   int      `json:"minTasks"`
+	MaxTasks   int      `json:"maxTasks"`
+	Model      string   `json:"model"`
+	// OptimalMaxTasks/OptimalMaxNodes bound the slowdown-vs-optimal
+	// reference, so they change result lines too.
+	OptimalMaxTasks int  `json:"optimalMaxTasks"`
+	OptimalMaxNodes int  `json:"optimalMaxNodes,omitempty"`
+	Timing          bool `json:"timing,omitempty"`
+	Scenarios       int  `json:"scenarios"`
 }
 
 // Summary validates and expands the grid's dimensions into the
@@ -81,10 +93,16 @@ func (g *Grid) Summary() (GridSummary, error) {
 // summary builds the grid echo. Call after applyDefaults (Expand does).
 func (g *Grid) summary(scenarios int) GridSummary {
 	sum := GridSummary{
-		Seeds:     append([]int64(nil), g.Seeds...),
-		VMCounts:  append([]int(nil), g.VMCounts...),
-		Apps:      g.Apps,
-		Scenarios: scenarios,
+		Seeds:           append([]int64(nil), g.Seeds...),
+		VMCounts:        append([]int(nil), g.VMCounts...),
+		Apps:            g.Apps,
+		MinTasks:        g.MinTasks,
+		MaxTasks:        g.MaxTasks,
+		Model:           g.Model.String(),
+		OptimalMaxTasks: g.OptimalMaxTasks,
+		OptimalMaxNodes: g.OptimalMaxNodes,
+		Timing:          g.Timing,
+		Scenarios:       scenarios,
 	}
 	for _, size := range g.MeanSizes {
 		sum.MeanBytes = append(sum.MeanBytes, int64(size))
@@ -99,29 +117,36 @@ func (g *Grid) summary(scenarios int) GridSummary {
 	return sum
 }
 
-// aggregator accumulates per-algorithm series incrementally, so a
+// Aggregator accumulates per-algorithm series incrementally, so a
 // streaming run aggregates without retaining Results. Results must be
 // added in a deterministic order (RunStream adds in expansion order) for
-// the summaries to be byte-reproducible.
-type aggregator struct {
-	g           *Grid
+// the summaries to be byte-reproducible. It is exported so the shard
+// merger can recompute the final aggregates line from spliced result
+// lines: adding the same results in the same order reproduces the
+// unsharded run's aggregates byte for byte.
+type Aggregator struct {
 	names       []string
+	timing      bool
 	completions map[string][]float64
 	slowdowns   map[string][]float64
 	latencies   map[string][]float64
 }
 
-func newAggregator(g *Grid) *aggregator {
-	return &aggregator{
-		g:           g,
-		names:       g.algorithmNames(),
+// NewAggregator aggregates over the given algorithm names in that
+// (grid) order. timing mirrors Grid.Timing: when set, wall-clock
+// placement-latency summaries are included in the JSON aggregates.
+func NewAggregator(algorithms []string, timing bool) *Aggregator {
+	return &Aggregator{
+		names:       algorithms,
+		timing:      timing,
 		completions: make(map[string][]float64),
 		slowdowns:   make(map[string][]float64),
 		latencies:   make(map[string][]float64),
 	}
 }
 
-func (a *aggregator) add(r Result) {
+// Add folds one result into the per-algorithm series.
+func (a *Aggregator) Add(r Result) {
 	a.completions[r.Algorithm] = append(a.completions[r.Algorithm], r.CompletionSeconds)
 	a.latencies[r.Algorithm] = append(a.latencies[r.Algorithm], r.PlaceLatency.Seconds())
 	if r.Slowdown != nil {
@@ -129,8 +154,8 @@ func (a *aggregator) add(r Result) {
 	}
 }
 
-// aggregates summarizes every algorithm in grid order.
-func (a *aggregator) aggregates() ([]Aggregate, error) {
+// Aggregates summarizes every algorithm in grid order.
+func (a *Aggregator) Aggregates() ([]Aggregate, error) {
 	var out []Aggregate
 	for _, name := range a.names {
 		completions := a.completions[name]
@@ -152,7 +177,7 @@ func (a *aggregator) aggregates() ([]Aggregate, error) {
 			}
 			agg.Slowdown = &s
 		}
-		if a.g.Timing {
+		if a.timing {
 			lat := agg.latency
 			agg.PlaceLatency = &lat
 		}

@@ -52,10 +52,13 @@ type Result struct {
 	PlaceLatency time.Duration `json:"-"`
 }
 
-// cellKey is the scenario's content key in the environment cache: the
+// CellKey is the scenario's content key in the environment cache: the
 // deterministic cell seed plus every parameter that shapes the built
-// cloud or the placement problem.
-func (g *Grid) cellKey(sc Scenario) envcache.Key {
+// cloud or the placement problem. Scenarios with equal keys form one
+// cell group (they differ only in algorithm), which is the unit the
+// shard planner strides across machines. Call after Expand, which fills
+// the defaulted knobs the key covers.
+func (g *Grid) CellKey(sc Scenario) envcache.Key {
 	return envcache.Key{
 		Topology:  sc.Topology.Name,
 		Workload:  sc.Workload.Name,
@@ -203,7 +206,7 @@ func placementInput(app *profile.Application, env *place.Environment) (*ilp.Plac
 // optimal reference. A nil cache builds every cell from scratch; either
 // way the result bytes are identical.
 func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
-	cell, err := cache.Get(g.cellKey(sc), func() (*envcache.Cell, error) { return g.buildCell(sc) })
+	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildCell(sc) })
 	if err != nil {
 		return Result{}, err
 	}
@@ -313,6 +316,18 @@ type RunOptions struct {
 	// as soon as it and all its predecessors have completed — the
 	// streaming hook the incremental report writer hangs off.
 	Emit func(Result) error
+	// Include, when non-nil, restricts the run to the expansion indices
+	// it returns true for — the hook shard slices hang off. Excluded
+	// scenarios are neither executed nor emitted and do not count toward
+	// aggregates; included ones still stream in expansion order.
+	Include func(i int) bool
+	// Prefilled maps expansion indices to results already known from a
+	// prior (possibly interrupted) run. Those scenarios are not
+	// re-executed; their results flow through Emit and the aggregates at
+	// their expansion position exactly as a fresh execution would, so a
+	// resumed run reproduces the uninterrupted run's bytes. Entries for
+	// indices the run does not include are ignored.
+	Prefilled map[int]Result
 }
 
 // RunStream expands the grid and executes every scenario across the
@@ -327,33 +342,59 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	// included: the expansion indices this run covers, in order (a shard
+	// slice, or the whole grid). toRun drops the prefilled ones — only
+	// those execute; prefilled results replay through the same ordered
+	// delivery below.
+	var included, toRun []int
+	counts := make(map[envcache.Key]int)
+	for i := range scenarios {
+		if opts.Include != nil && !opts.Include(i) {
+			continue
+		}
+		included = append(included, i)
+		if _, done := opts.Prefilled[i]; done {
+			continue
+		}
+		toRun = append(toRun, i)
+		counts[g.CellKey(scenarios[i])]++
+	}
 	var cache *envcache.Cache
 	if !opts.NoCache {
-		// Every cell is fetched exactly once per algorithm; the last
-		// fetch evicts, so resident entries track the in-flight set.
-		cache = envcache.New(len(g.Algorithms))
+		// The cache's eviction plan counts each cell's actual fetches in
+		// this run, not the full grid's: a shard or resume may touch only
+		// part of a cell group, and a uniform per-algorithm count would
+		// leave those entries pinned. The last planned fetch evicts, so
+		// resident entries track the in-flight set.
+		cache = envcache.NewPlanned(counts)
 	}
 
-	agg := newAggregator(&g)
+	agg := NewAggregator(g.algorithmNames(), g.Timing)
 
 	// Reorder buffer: workers finish out of order, the stream is emitted
-	// in expansion order. Holding completed-but-not-yet-due results in a
-	// map bounds its size by worker skew, not grid size — and once the
-	// run is doomed (a scenario or the emit destination failed, so the
+	// in expansion order. rank maps an expansion index to its position
+	// in the run's emission sequence (they differ once Include skips
+	// indices). Holding completed-but-not-yet-due results in a map
+	// bounds its size by worker skew, not grid size — and once the run
+	// is doomed (a scenario or the emit destination failed, so the
 	// output will be discarded), the buffer is dropped and the rest of
 	// the grid skipped rather than simulated into the void.
+	rank := make(map[int]int, len(included))
+	for pos, i := range included {
+		rank[i] = pos
+	}
 	var mu sync.Mutex
 	pending := make(map[int]Result)
 	next := 0
 	var emitErr error
 	var aborted atomic.Bool
-	deliver := func(i int, r Result) {
+	deliver := func(pos int, r Result) {
 		mu.Lock()
 		defer mu.Unlock()
 		if aborted.Load() || emitErr != nil {
 			return
 		}
-		pending[i] = r
+		pending[pos] = r
 		for {
 			due, ok := pending[next]
 			if !ok {
@@ -361,7 +402,7 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 			}
 			delete(pending, next)
 			next++
-			agg.add(due)
+			agg.Add(due)
 			if opts.Emit != nil {
 				if emitErr = opts.Emit(due); emitErr != nil {
 					// The destination is gone (full disk, closed pipe).
@@ -373,10 +414,20 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 		}
 	}
 
-	err = Parallel(len(scenarios), opts.Workers, func(i int) error {
+	// Seed the buffer with the prior run's results; leading ones flush
+	// to the destination immediately, interleaved ones wait for their
+	// predecessors like any other completed-but-not-due result.
+	for _, i := range included {
+		if r, done := opts.Prefilled[i]; done {
+			deliver(rank[i], r)
+		}
+	}
+
+	err = Parallel(len(toRun), opts.Workers, func(k int) error {
 		if aborted.Load() {
 			return nil
 		}
+		i := toRun[k]
 		r, err := g.runScenario(scenarios[i], cache)
 		if err != nil {
 			aborted.Store(true)
@@ -385,7 +436,7 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 			mu.Unlock()
 			return err
 		}
-		deliver(i, r)
+		deliver(rank[i], r)
 		return nil
 	})
 	if err != nil {
@@ -394,14 +445,20 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 	if emitErr != nil {
 		return nil, fmt.Errorf("sweep: emitting results: %w", emitErr)
 	}
-	aggs, err := agg.aggregates()
+	stats := cache.Stats()
+	if stats.Resident != 0 {
+		// The per-key plan above makes the last fetch of every cell evict
+		// it; anything left resident means the accounting over-counted.
+		return nil, fmt.Errorf("sweep: internal: %d environment-cache entries left pinned after the run", stats.Resident)
+	}
+	aggs, err := agg.Aggregates()
 	if err != nil {
 		return nil, err
 	}
 	return &Summary{
 		Grid:       g.summary(len(scenarios)),
 		Algorithms: aggs,
-		Cache:      cache.Stats(),
+		Cache:      stats,
 	}, nil
 }
 

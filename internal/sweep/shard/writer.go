@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+
+	"choreo/internal/sweep"
+)
+
+// Writer emits one self-describing JSONL shard file:
+//
+//	{"grid":{...}}                                  full grid echo, byte-identical to the unsharded stream header
+//	{"shard":{"index":2,"count":3,"gridHash":"...","scenarios":64}}
+//	{"topology":...}                                this slice's results, in expansion order
+//	...
+//	{"shardComplete":{"index":2,"results":64}}
+//
+// Every line goes through sweep.StreamWriter's encoding, so the grid
+// and result lines are the exact bytes the unsharded run would write —
+// which is what lets Merge splice shards verbatim.
+type Writer struct {
+	sw      *sweep.StreamWriter
+	spec    Spec
+	planned int
+	results int
+}
+
+// NewWriter writes the grid echo and shard header lines. scenarios is
+// the planned result-line count (len of the Plan set); Close enforces
+// it so a short write cannot masquerade as a complete shard.
+func NewWriter(w io.Writer, grid sweep.GridSummary, spec Spec, scenarios int) (*Writer, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	hash, err := HashSummary(grid)
+	if err != nil {
+		return nil, err
+	}
+	sw := sweep.NewStreamWriter(w)
+	if err := sw.Header(grid); err != nil {
+		return nil, err
+	}
+	err = sw.WriteLine(struct {
+		Shard headerLine `json:"shard"`
+	}{headerLine{Index: spec.Index, Count: spec.Count, GridHash: hash, Scenarios: scenarios}})
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{sw: sw, spec: spec, planned: scenarios}, nil
+}
+
+// Result writes one scenario line; pass it as sweep.RunOptions.Emit.
+func (w *Writer) Result(r sweep.Result) error {
+	w.results++
+	return w.sw.Result(r)
+}
+
+// Close writes the completeness footer. Call it only after the run
+// succeeded: a shard file without the footer is rejected by Merge as
+// truncated (and is exactly what -resume picks up from).
+func (w *Writer) Close() error {
+	if w.results != w.planned {
+		return fmt.Errorf("shard: wrote %d of %d planned results", w.results, w.planned)
+	}
+	return w.sw.WriteLine(struct {
+		ShardComplete footerLine `json:"shardComplete"`
+	}{footerLine{Index: w.spec.Index, Results: w.results}})
+}

@@ -54,6 +54,15 @@ func (sw *StreamWriter) Result(r Result) error {
 	return sw.writeLine(r)
 }
 
+// WriteLine writes one arbitrary value as a compact JSON line. Derived
+// stream formats (the shard files of internal/sweep/shard) use it to
+// interleave their own marker lines with the standard header, result
+// and aggregates lines, so every line of every format goes through the
+// identical encoding.
+func (sw *StreamWriter) WriteLine(v interface{}) error {
+	return sw.writeLine(v)
+}
+
 // Finish writes the final aggregates line.
 func (sw *StreamWriter) Finish(algorithms []Aggregate) error {
 	return sw.writeLine(struct {

@@ -59,6 +59,13 @@ func TestExpandValidates(t *testing.T) {
 		func(g *Grid) { g.MeanSizes = []units.ByteSize{0} },
 		func(g *Grid) { g.MinTasks = 5; g.MaxTasks = 3 },
 		func(g *Grid) { g.Workloads = append(g.Workloads, g.Workloads[0]) },
+		// Duplicate topologies/algorithms would make scenario identities
+		// ambiguous (shard merge and resume match results by identity).
+		func(g *Grid) { g.Topologies = append(g.Topologies, g.Topologies[0]) },
+		func(g *Grid) { g.Algorithms = append(g.Algorithms, g.Algorithms[0]) },
+		func(g *Grid) { g.Seeds = []int64{1, 1} },
+		func(g *Grid) { g.VMCounts = []int{8, 8} },
+		func(g *Grid) { g.MeanSizes = []units.ByteSize{64, 64} },
 	}
 	for i, mutate := range cases {
 		g := Default()
