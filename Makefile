@@ -4,7 +4,7 @@
 GO  ?= go
 BIN ?= bin
 
-.PHONY: all build test bench lint sweep-smoke sweep-shard-smoke golden clean
+.PHONY: all build test bench lint sweep-smoke sweep-shard-smoke sweep-seq-smoke golden clean
 
 all: build
 
@@ -64,6 +64,26 @@ sweep-shard-smoke: build
 		-out $(BIN)/sweep-shard2-resumed.jsonl
 	cmp $(BIN)/sweep-shard2.jsonl $(BIN)/sweep-shard2-resumed.jsonl
 	@echo "3-shard merge is byte-identical to the unsharded stream; resume completed the truncated shard"
+
+# The sequence-sweep acceptance check: a tiny §6.3 in-sequence grid
+# (arrivals + re-evaluation/migration cells) must stream byte-identical
+# JSONL across worker counts and cache states, and the same grid run as
+# 2 shards and merged must reproduce the unsharded stream exactly.
+SEQ_FLAGS = -mode sequence -topologies tworack -workloads shuffle -vms 6 -mean-mb 200 \
+	-interarrival 3s,10s -seq-apps 4 -reeval 0,5s -algorithms choreo,random -seeds 1
+
+sweep-seq-smoke: build
+	$(BIN)/choreo sweep $(SEQ_FLAGS) -workers 1 -stream -out $(BIN)/seq-s1.jsonl
+	$(BIN)/choreo sweep $(SEQ_FLAGS) -workers 8 -stream -out $(BIN)/seq-s8.jsonl
+	cmp $(BIN)/seq-s1.jsonl $(BIN)/seq-s8.jsonl
+	$(BIN)/choreo sweep $(SEQ_FLAGS) -workers 8 -cache=false -stream -out $(BIN)/seq-nocache.jsonl
+	cmp $(BIN)/seq-s1.jsonl $(BIN)/seq-nocache.jsonl
+	for i in 1 2; do \
+		$(BIN)/choreo sweep $(SEQ_FLAGS) -workers 8 -shard $$i/2 -out $(BIN)/seq-shard$$i.jsonl || exit 1; \
+	done
+	$(BIN)/choreo merge -out $(BIN)/seq-merged.jsonl $(BIN)/seq-shard1.jsonl $(BIN)/seq-shard2.jsonl
+	cmp $(BIN)/seq-s1.jsonl $(BIN)/seq-merged.jsonl
+	@echo "sequence sweep is byte-identical across worker counts, cache states and 2-shard merge"
 
 # Regenerate the sweep engine's golden report after an intended grid or
 # engine change, then re-run the test to prove the new golden holds.

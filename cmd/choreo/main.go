@@ -27,6 +27,13 @@
 //	    deterministic slice of the grid as a self-describing shard file;
 //	    -resume skips scenarios already present in a prior JSONL run.
 //
+//	choreo sweep -mode sequence -interarrival 5s,20s -seq-apps 8 -reeval 0,10s
+//	    run the grid as §6.3 in-sequence experiments: applications
+//	    arrive over time on one shared cloud, each placed as it arrives
+//	    under live cross traffic, re-evaluated every -reeval and
+//	    migrated when the predicted completion improves by
+//	    -migration-gain; reports per-app events and total running time.
+//
 //	choreo merge -out merged.jsonl shard1.jsonl shard2.jsonl shard3.jsonl
 //	    validate n shard files (same grid, disjoint coverage, no gaps)
 //	    and splice them into one report, byte-identical to the unsharded

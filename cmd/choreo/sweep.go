@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"choreo/internal/place"
 	"choreo/internal/sweep"
@@ -28,18 +29,31 @@ import (
 // scenario that already has a result line in a prior (possibly
 // interrupted) JSONL run. All human-facing progress goes to stderr, so
 // `-out -` composes in shell pipelines.
+//
+// -mode sequence switches every cell from a single static placement
+// (§6.2) to an in-sequence arrival/migration experiment (§6.3),
+// crossing three extra dimensions: -interarrival, -seq-apps and
+// -reeval. Shared dimension flags the user leaves unset fall back to
+// mode-appropriate defaults in the "sequence" branch of the mode
+// switch below, matching sweep.DefaultSequence.
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	mode := fs.String("mode", "snapshot", "cell mode: snapshot (§6.2 single placements) or sequence (§6.3 in-sequence arrivals + migration)")
 	topologies := fs.String("topologies", "ec2-2013,rackspace,fattree-4,jellyfish-12", "comma-separated provider profiles (see -list)")
 	workloads := fs.String("workloads", "shuffle,uniform", "comma-separated workload presets (see -list)")
 	algorithms := fs.String("algorithms", "choreo,random,round-robin", "comma-separated placement algorithms (see -list)")
 	seedSpec := fs.String("seeds", "2", "seed count (from -seed) or explicit comma list")
 	baseSeed := fs.Int64("seed", 1, "base seed when -seeds is a count")
 	vms := fs.String("vms", "6,10", "comma-separated tenant VM counts to sweep")
-	apps := fs.Int("apps", 0, "applications combined per scenario (0 = one generated app, or the whole trace)")
+	apps := fs.Int("apps", 0, "applications combined per scenario (0 = one generated app, or the whole trace; snapshot mode)")
 	minTasks := fs.Int("min-tasks", 4, "minimum tasks per generated application")
 	maxTasks := fs.Int("max-tasks", 6, "maximum tasks per generated application")
 	meanMB := fs.String("mean-mb", "64,200", "comma-separated mean transfer sizes (MB) to sweep")
+	interarrival := fs.String("interarrival", "5s,20s", "comma-separated mean Poisson inter-arrival times to sweep (sequence mode)")
+	seqApps := fs.String("seq-apps", "8", "comma-separated sequence lengths (applications per sequence) to sweep (sequence mode)")
+	reeval := fs.String("reeval", "0,10s", "comma-separated §2.4 re-evaluation periods to sweep, 0 = never migrate (sequence mode)")
+	migrationGain := fs.Float64("migration-gain", 0.2, "minimum predicted relative improvement to migrate (sequence mode)")
+	maxMigrations := fs.Int("max-migrations", 3, "migration cap per application (sequence mode)")
 	model := fs.String("model", "hose", "rate model: hose or pipe")
 	tracePath := fs.String("trace", "", "JSON trace file to replay as an extra workload")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (0 = GOMAXPROCS)")
@@ -60,7 +74,7 @@ func runSweep(args []string) error {
 		return fmt.Errorf("sweep: unexpected arguments %q (-stream is a mode switch; the destination is -out)", fs.Args())
 	}
 	if *list {
-		printSweepLists(os.Stdout)
+		printGridHelp(os.Stdout)
 		return nil
 	}
 
@@ -71,7 +85,59 @@ func runSweep(args []string) error {
 		OptimalMaxTasks: *optMaxTasks,
 		Timing:          *timing,
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	var err error
+	switch *mode {
+	case "snapshot":
+		// A sequence-only flag on a snapshot sweep would be silently
+		// ignored; fail with the fix instead.
+		for _, name := range []string{"interarrival", "seq-apps", "reeval", "migration-gain", "max-migrations"} {
+			if set[name] {
+				return fmt.Errorf("-%s is a sequence dimension and the default -mode snapshot sweeps single static placements; add -mode sequence", name)
+			}
+		}
+	case "sequence":
+		g.Mode = sweep.Sequence
+		// The snapshot defaults make poor sequence grids: 64 unique
+		// clouds per run, sizes too small for arrivals to overlap.
+		// Shared dimension flags the user did not set fall back to the
+		// sequence defaults (matching sweep.DefaultSequence).
+		if !set["topologies"] {
+			*topologies = "ec2-2013,rackspace"
+		}
+		if !set["workloads"] {
+			*workloads = "shuffle"
+		}
+		if !set["vms"] {
+			*vms = "6"
+		}
+		if !set["mean-mb"] {
+			*meanMB = "400"
+		}
+		if g.Interarrivals, err = parseDurationList(*interarrival); err != nil {
+			return fmt.Errorf("-interarrival: %w", err)
+		}
+		if g.SeqApps, err = parseIntList(*seqApps); err != nil {
+			return fmt.Errorf("-seq-apps: %w", err)
+		}
+		if g.Reevals, err = parseDurationList(*reeval); err != nil {
+			return fmt.Errorf("-reeval: %w", err)
+		}
+		// The engine treats zero migration knobs as "use the default"
+		// (3 moves, 0.2 gain); accepting an explicit 0 here would
+		// silently re-enable what the user asked to turn off.
+		if *maxMigrations == 0 {
+			return fmt.Errorf("-max-migrations 0 would silently mean the default cap of 3; to disable migration entirely use -reeval 0")
+		}
+		if *migrationGain == 0 {
+			return fmt.Errorf("-migration-gain 0 would silently mean the default threshold of 0.2; pass a value in (0, 1)")
+		}
+		g.MigrationGain = *migrationGain
+		g.MaxMigrations = *maxMigrations
+	default:
+		return fmt.Errorf("unknown -mode %q (snapshot or sequence)", *mode)
+	}
 	if g.VMCounts, err = parseIntList(*vms); err != nil {
 		return fmt.Errorf("-vms: %w", err)
 	}
@@ -265,14 +331,20 @@ func printCacheStats(hits, misses int64) {
 		hits, misses, pct)
 }
 
-// printSweepLists renders the -list output: every valid dimension value.
-func printSweepLists(w io.Writer) {
+// printGridHelp renders the -list output: every valid dimension value
+// and which dimension flags cross in each mode.
+func printGridHelp(w io.Writer) {
+	fmt.Fprintf(w, "modes:      snapshot (default: one static placement per cell, §6.2)\n")
+	fmt.Fprintf(w, "            sequence (in-sequence arrivals + re-evaluation/migration, §6.3)\n")
 	fmt.Fprintf(w, "topologies: %s\n", strings.Join(sweep.TopologyNames(), ", "))
 	fmt.Fprintf(w, "            (fattree-K takes any even K >= 2; jellyfish-N any N >= 4 switches)\n")
-	fmt.Fprintf(w, "workloads:  %s (or -trace file.json)\n", strings.Join(sweep.WorkloadNames(), ", "))
-	fmt.Fprintf(w, "algorithms: %s\n", strings.Join(sweep.AlgorithmNames(), ", "))
+	fmt.Fprintf(w, "workloads:  %s (or -trace file.json; traces are snapshot-only)\n", strings.Join(sweep.WorkloadNames(), ", "))
+	fmt.Fprintf(w, "algorithms: %s (ilp is snapshot-only)\n", strings.Join(sweep.AlgorithmNames(), ", "))
 	fmt.Fprintf(w, "models:     hose, pipe\n")
-	fmt.Fprintf(w, "dimensions: -topologies x -workloads x -vms x -mean-mb x -algorithms x -seeds\n")
+	fmt.Fprintf(w, "dimensions: snapshot: -topologies x -workloads x -vms x -mean-mb x -algorithms x -seeds\n")
+	fmt.Fprintf(w, "            sequence: -topologies x -workloads x -vms x -mean-mb x -interarrival x -seq-apps x -reeval x -algorithms x -seeds\n")
+	fmt.Fprintf(w, "            (sequence scalar knobs, not swept: -migration-gain, -max-migrations;\n")
+	fmt.Fprintf(w, "             unset -topologies/-workloads/-vms/-mean-mb default to ec2-2013,rackspace / shuffle / 6 / 400 in sequence mode)\n")
 }
 
 // writeTo opens dest ('-' = stdout) and runs write against it,
@@ -323,4 +395,15 @@ func parseIntList(s string) ([]int, error) { return parseList(s, strconv.Atoi) }
 
 func parseFloatList(s string) ([]float64, error) {
 	return parseList(s, func(v string) (float64, error) { return strconv.ParseFloat(v, 64) })
+}
+
+// parseDurationList parses a comma list of Go durations; a bare "0" is
+// accepted (the -reeval spelling for "never").
+func parseDurationList(s string) ([]time.Duration, error) {
+	return parseList(s, func(v string) (time.Duration, error) {
+		if v == "0" {
+			return 0, nil
+		}
+		return time.ParseDuration(v)
+	})
 }

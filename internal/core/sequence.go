@@ -28,16 +28,44 @@ type SequenceOptions struct {
 	// MigrationDelay pauses a migrated application's remaining transfers
 	// (default 2s), modelling the cost of moving task state.
 	MigrationDelay time.Duration
+	// MaxMigrationsPerApp bounds how often one application may be moved;
+	// together with the migration delay it guarantees sequences
+	// terminate. 0 means the default of 3.
+	MaxMigrationsPerApp int
+	// StaticEnv, when non-nil, is used as the pre-sequence measurement
+	// instead of measuring at the start of the run. The sweep engine's
+	// environment cache passes a mutable clone of a measurement taken
+	// once per cell on the pristine cloud, so every algorithm of a cell
+	// group starts from the identical environment without re-running the
+	// packet trains.
+	StaticEnv *place.Environment
 }
 
-// SequenceResult reports per-application running times.
+// defaultMaxMigrationsPerApp is the migration cap applied when
+// SequenceOptions.MaxMigrationsPerApp is zero.
+const defaultMaxMigrationsPerApp = 3
+
+// SequenceResult reports per-application running times. All per-app
+// slices are indexed in arrival order (the order RunSequence plays the
+// applications, sorted by Start).
 type SequenceResult struct {
 	PerApp []time.Duration
 	// TotalRunning is the sum of per-application running times, the
 	// paper's §6.3 comparison metric.
 	TotalRunning time.Duration
-	// Migrations counts migrations performed.
+	// Migrations counts migrations performed across the whole sequence.
 	Migrations int
+	// PerAppMigrations counts each application's own migrations;
+	// Migrations is their sum.
+	PerAppMigrations []int
+	// MeasureLatency and PlaceLatency break down each application's
+	// wall-clock placement cost on arrival: network re-measurement time
+	// (zero when the arrival placed against the static environment) and
+	// placement-algorithm time. Wall-clock values are real measurements,
+	// hence nondeterministic; the sweep layer keeps them out of
+	// byte-reproducible reports.
+	MeasureLatency []time.Duration
+	PlaceLatency   []time.Duration
 }
 
 // runningApp tracks one in-flight application.
@@ -54,10 +82,6 @@ type runningApp struct {
 	migrations  int
 }
 
-// maxMigrationsPerApp bounds how often one application may be moved; the
-// migration delay plus this cap guarantees sequences terminate.
-const maxMigrationsPerApp = 3
-
 // RunSequence plays applications onto the network at their Start times,
 // placing each with the given algorithm as it arrives (the entire
 // sequence is not known up front, §6.3). It returns each application's
@@ -72,33 +96,50 @@ func (c *Choreo) RunSequence(apps []*profile.Application, alg Algorithm, opts Se
 	if opts.MigrationDelay <= 0 {
 		opts.MigrationDelay = 2 * time.Second
 	}
+	if opts.MaxMigrationsPerApp <= 0 {
+		opts.MaxMigrationsPerApp = defaultMaxMigrationsPerApp
+	}
 	ordered := make([]*profile.Application, len(apps))
 	copy(ordered, apps)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
 
-	res := SequenceResult{PerApp: make([]time.Duration, len(ordered))}
+	res := SequenceResult{
+		PerApp:           make([]time.Duration, len(ordered)),
+		PerAppMigrations: make([]int, len(ordered)),
+		MeasureLatency:   make([]time.Duration, len(ordered)),
+		PlaceLatency:     make([]time.Duration, len(ordered)),
+	}
 	running := make([]*runningApp, len(ordered))
 	remaining := len(ordered)
 	var firstErr error
 
 	// A measurement taken before any application runs; reused when
-	// re-measurement is disabled.
-	staticEnv, err := c.MeasureEnvironment()
-	if err != nil {
-		return res, err
+	// re-measurement is disabled. A caller-provided StaticEnv (the sweep
+	// cell cache) stands in for it without spending the packet trains.
+	staticEnv := opts.StaticEnv
+	if staticEnv == nil {
+		env, err := c.MeasureEnvironment()
+		if err != nil {
+			return res, err
+		}
+		staticEnv = env
 	}
 
 	startApp := func(idx int) {
 		app := ordered[idx]
 		env := staticEnv
 		if opts.Remeasure && alg == AlgChoreo {
+			measureStart := time.Now()
 			if e, err := c.MeasureEnvironment(); err == nil {
 				env = e
 			} else if firstErr == nil {
 				firstErr = err
 			}
+			res.MeasureLatency[idx] = time.Since(measureStart)
 		}
+		placeStart := time.Now()
 		p, err := c.Place(app, env, alg)
+		res.PlaceLatency[idx] = time.Since(placeStart)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("core: placing %q: %w", app.Name, err)
@@ -149,6 +190,11 @@ func (c *Choreo) RunSequence(apps []*profile.Application, alg Algorithm, opts Se
 	for _, d := range res.PerApp {
 		res.TotalRunning += d
 	}
+	for _, ra := range running {
+		if ra != nil {
+			res.PerAppMigrations[ra.idx] = ra.migrations
+		}
+	}
 	return res, nil
 }
 
@@ -188,7 +234,7 @@ func (c *Choreo) reevaluate(running []*runningApp, opts SequenceOptions, res *Se
 		return
 	}
 	for _, ra := range running {
-		if ra == nil || ra.done || ra.paused || ra.outstanding == 0 || ra.migrations >= maxMigrationsPerApp {
+		if ra == nil || ra.done || ra.paused || ra.outstanding == 0 || ra.migrations >= opts.MaxMigrationsPerApp {
 			continue
 		}
 		// Remaining traffic matrix: bytes still in flight, attributed back
@@ -246,9 +292,18 @@ func (c *Choreo) reevaluate(running []*runningApp, opts SequenceOptions, res *Se
 			continue
 		}
 		// Migrate: stop current flows, restart the remaining bytes under
-		// the new placement after the migration delay.
+		// the new placement after the migration delay. Flows stop in
+		// sorted ID order: the simulator's active-flow list (and with it
+		// the floating-point accumulation order of the max-min allocator)
+		// must not depend on map iteration order, or byte-reproducible
+		// sweeps would drift run to run.
 		restart := leftApp.TM
+		ids := make([]netsim.FlowID, 0, len(ra.flows))
 		for id := range ra.flows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
 			c.net.StopFlow(id)
 			delete(ra.flows, id)
 		}

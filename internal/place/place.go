@@ -64,6 +64,33 @@ type Environment struct {
 // Machines returns the machine count.
 func (e *Environment) Machines() int { return len(e.Rates) }
 
+// Clone returns a deep copy of the environment. Consumers that mutate a
+// measured environment mid-run — the in-sequence experiments re-measure
+// under live cross traffic — clone the shared original instead of
+// aliasing it.
+func (e *Environment) Clone() *Environment {
+	out := &Environment{}
+	if e.Rates != nil {
+		out.Rates = make([][]units.Rate, len(e.Rates))
+		for i, row := range e.Rates {
+			out.Rates[i] = append([]units.Rate(nil), row...)
+		}
+	}
+	if e.HoseRates != nil {
+		out.HoseRates = append([]units.Rate(nil), e.HoseRates...)
+	}
+	if e.Cross != nil {
+		out.Cross = make([][]float64, len(e.Cross))
+		for i, row := range e.Cross {
+			out.Cross[i] = append([]float64(nil), row...)
+		}
+	}
+	if e.CPUCap != nil {
+		out.CPUCap = append([]float64(nil), e.CPUCap...)
+	}
+	return out
+}
+
 // Validate checks shape and positivity.
 func (e *Environment) Validate() error {
 	m := len(e.Rates)

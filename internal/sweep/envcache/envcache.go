@@ -46,21 +46,45 @@ type Key struct {
 	MinTasks  int
 	MaxTasks  int
 	Apps      int
+	// Interarrival and SeqApps identify a sequence-mode cell's arrival
+	// process (mean inter-arrival in nanoseconds, applications per
+	// sequence); both are zero for snapshot cells. The re-evaluation
+	// period is deliberately absent: it changes only how a sequence is
+	// run, not the built cloud or the generated arrivals, so cells
+	// differing only in re-evaluation share one entry.
+	Interarrival int64
+	SeqApps      int
 }
 
 // Cell is one built-and-measured scenario environment: the measured rate
-// matrix and the application to place. Both are treated as immutable by
-// every consumer (placement algorithms read them; execution happens on a
-// freshly rebuilt cloud). The exact-optimum reference completion is
-// memoized here too, so the N algorithms of a cell group compute it once.
+// matrix and the placement problem — a single application for snapshot
+// cells, a Start-ordered arrival sequence for sequence cells. Env and the
+// applications are treated as immutable by snapshot consumers (placement
+// algorithms read them; execution happens on a freshly rebuilt cloud);
+// sequence consumers re-measure mid-run, so they take a mutable CloneEnv
+// instead of aliasing the shared entry. The exact-optimum reference
+// completion is memoized here too, so the N algorithms of a cell group
+// compute it once.
 type Cell struct {
 	Env *place.Environment
 	App *profile.Application
+	// Seq holds a sequence cell's generated applications in arrival
+	// order (nil for snapshot cells). Consumers must not mutate them.
+	Seq []*profile.Application
 
 	refOnce sync.Once
 	refVal  float64
 	refOK   bool
 	refErr  error
+}
+
+// CloneEnv returns a deep copy of the cell's measured environment.
+// Sequence cells re-measure under live cross traffic and must not share
+// one Environment across the concurrently-running algorithms of a cell
+// group, so the cache hands out mutable clones rather than the shared
+// entry.
+func (c *Cell) CloneEnv() *place.Environment {
+	return c.Env.Clone()
 }
 
 // OptimalReference returns the memoized exact-optimum reference,

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"choreo/internal/core"
 	"choreo/internal/place"
@@ -22,6 +23,32 @@ import (
 	"choreo/internal/units"
 	"choreo/internal/workload"
 )
+
+// Mode selects what one grid cell runs.
+type Mode int
+
+const (
+	// Snapshot cells (the zero value) run one static placement problem
+	// per cell — the §6.2 experiments PRs 1–3 built.
+	Snapshot Mode = iota
+	// Sequence cells run the §6.3 in-sequence experiment: applications
+	// arrive over time on one shared cloud, each is placed as it
+	// arrives, and placements are periodically re-evaluated and
+	// migrated. Sequence grids sweep three extra dimensions —
+	// interarrival, sequence length and re-evaluation period.
+	Sequence
+)
+
+// String names the mode as grid echoes and the CLI spell it.
+func (m Mode) String() string {
+	switch m {
+	case Snapshot:
+		return "snapshot"
+	case Sequence:
+		return "sequence"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
 
 // Topology is one named provider profile in the grid.
 type Topology struct {
@@ -171,6 +198,11 @@ func AlgorithmByName(name string) (Algorithm, error) {
 // Grid declares a sweep: the cross product of every dimension plus the
 // per-scenario knobs shared by all cells.
 type Grid struct {
+	// Mode selects snapshot cells (single static placements, the zero
+	// value) or sequence cells (§6.3 in-sequence arrival/migration
+	// experiments). Sequence grids cross the three sequence dimensions
+	// below; snapshot grids must leave them empty.
+	Mode       Mode
 	Topologies []Topology
 	Workloads  []Workload
 	Algorithms []Algorithm
@@ -186,6 +218,18 @@ type Grid struct {
 	// contributes one cell per VM count and seed, reported with
 	// meanBytes 0.
 	MeanSizes []units.ByteSize
+	// Interarrivals sweeps the mean of the Poisson arrival process
+	// (sequence mode only; empty defaults to one 30s entry).
+	Interarrivals []time.Duration
+	// SeqApps sweeps the sequence length: how many applications arrive
+	// in one cell (sequence mode only; empty defaults to one entry, 8).
+	SeqApps []int
+	// Reevals sweeps the §2.4 re-evaluation period; a 0 entry disables
+	// re-evaluation and migration for that cell (sequence mode only;
+	// empty defaults to the single entry 0). Cells differing only in
+	// re-evaluation share one built-and-measured environment — the
+	// period changes how a sequence runs, not the cloud or the arrivals.
+	Reevals []time.Duration
 
 	// VMs is the tenant allocation per scenario (default 8) when
 	// VMCounts does not sweep it.
@@ -203,6 +247,12 @@ type Grid struct {
 	// Model is the rate model for greedy/optimal placement. The zero
 	// value is the pipe model; Default() and `choreo sweep` use hose.
 	Model place.Model
+	// MigrationGain is the minimum predicted relative improvement to
+	// migrate a running application (sequence mode; default 0.2).
+	MigrationGain float64
+	// MaxMigrations caps migrations per application (sequence mode;
+	// default 3).
+	MaxMigrations int
 
 	// OptimalMaxTasks bounds the slowdown-vs-optimal reference: the
 	// exact branch-and-bound optimum is computed only for applications
@@ -243,6 +293,38 @@ func Default() Grid {
 	return g
 }
 
+// DefaultSequence returns the stock sequence grid used by
+// `choreo sweep -mode sequence`: 2 topologies × 2 interarrivals ×
+// 2 re-evaluation periods × 3 algorithms × 2 seeds = 48 scenarios over
+// 8 unique cells, each cell an 8-application arrival sequence. The
+// sizes and interarrivals are chosen so applications overlap — the
+// regime where re-measuring under live cross traffic (and migrating)
+// can beat oblivious placement, the paper's §6.3 comparison.
+func DefaultSequence() Grid {
+	g := Grid{
+		Mode:          Sequence,
+		Seeds:         []int64{1, 2},
+		Model:         place.Hose,
+		VMCounts:      []int{6},
+		MeanSizes:     []units.ByteSize{400 * units.Megabyte},
+		Interarrivals: []time.Duration{5 * time.Second, 20 * time.Second},
+		SeqApps:       []int{8},
+		Reevals:       []time.Duration{0, 10 * time.Second},
+	}
+	for _, t := range []string{"ec2-2013", "rackspace"} {
+		tp, _ := TopologyByName(t)
+		g.Topologies = append(g.Topologies, tp)
+	}
+	wl, _ := WorkloadByName("shuffle")
+	g.Workloads = []Workload{wl}
+	for _, a := range []string{"choreo", "random", "round-robin"} {
+		alg, _ := AlgorithmByName(a)
+		g.Algorithms = append(g.Algorithms, alg)
+	}
+	g.applyDefaults()
+	return g
+}
+
 // applyDefaults fills zero-valued knobs and lifts the scalar VM/transfer
 // knobs into single-entry sweep dimensions.
 func (g *Grid) applyDefaults() {
@@ -266,6 +348,23 @@ func (g *Grid) applyDefaults() {
 	}
 	if len(g.MeanSizes) == 0 {
 		g.MeanSizes = []units.ByteSize{g.MeanBytes}
+	}
+	if g.Mode == Sequence {
+		if len(g.Interarrivals) == 0 {
+			g.Interarrivals = []time.Duration{30 * time.Second}
+		}
+		if len(g.SeqApps) == 0 {
+			g.SeqApps = []int{8}
+		}
+		if len(g.Reevals) == 0 {
+			g.Reevals = []time.Duration{0}
+		}
+		if g.MigrationGain == 0 {
+			g.MigrationGain = 0.2
+		}
+		if g.MaxMigrations == 0 {
+			g.MaxMigrations = 3
+		}
 	}
 }
 
@@ -345,6 +444,76 @@ func (g *Grid) Validate() error {
 		}
 		seenSize[size] = true
 	}
+	return g.validateMode()
+}
+
+// validateMode checks the mode-specific dimensions: sequence grids need
+// runnable sequence dimensions and only sequence-capable workloads and
+// algorithms; snapshot grids must not set sequence knobs at all, so a
+// forgotten `-mode sequence` fails loudly instead of silently ignoring
+// the flags.
+func (g *Grid) validateMode() error {
+	if g.Mode == Snapshot {
+		if len(g.Interarrivals) != 0 || len(g.SeqApps) != 0 || len(g.Reevals) != 0 {
+			return fmt.Errorf("sweep: interarrival/sequence-length/re-evaluation dimensions apply only to sequence mode (set Mode: Sequence / -mode sequence)")
+		}
+		if g.MigrationGain != 0 || g.MaxMigrations != 0 {
+			return fmt.Errorf("sweep: migration knobs apply only to sequence mode (set Mode: Sequence / -mode sequence)")
+		}
+		return nil
+	}
+	if g.Mode != Sequence {
+		return fmt.Errorf("sweep: unknown mode %v", g.Mode)
+	}
+	seenInter := map[time.Duration]bool{}
+	for _, ia := range g.Interarrivals {
+		if ia <= 0 {
+			return fmt.Errorf("sweep: mean interarrival must be positive, got %v", ia)
+		}
+		if seenInter[ia] {
+			return fmt.Errorf("sweep: duplicate interarrival %v", ia)
+		}
+		seenInter[ia] = true
+	}
+	seenApps := map[int]bool{}
+	for _, n := range g.SeqApps {
+		if n < 1 {
+			return fmt.Errorf("sweep: sequence length must be >= 1, got %d", n)
+		}
+		if seenApps[n] {
+			return fmt.Errorf("sweep: duplicate sequence length %d", n)
+		}
+		seenApps[n] = true
+	}
+	seenReeval := map[time.Duration]bool{}
+	for _, rv := range g.Reevals {
+		if rv < 0 {
+			return fmt.Errorf("sweep: re-evaluation period must be >= 0 (0 = never), got %v", rv)
+		}
+		if seenReeval[rv] {
+			return fmt.Errorf("sweep: duplicate re-evaluation period %v", rv)
+		}
+		seenReeval[rv] = true
+	}
+	if g.MigrationGain < 0 || g.MigrationGain >= 1 {
+		return fmt.Errorf("sweep: migration gain must be in [0, 1) (0 = the default 0.2), got %v", g.MigrationGain)
+	}
+	if g.MaxMigrations < 0 {
+		return fmt.Errorf("sweep: migration cap must be >= 0, got %d", g.MaxMigrations)
+	}
+	if g.Apps != 0 {
+		return fmt.Errorf("sweep: the Apps knob combines applications in snapshot mode; sequence length is the SeqApps dimension")
+	}
+	for _, a := range g.Algorithms {
+		if a.ILP {
+			return fmt.Errorf("sweep: algorithm %q is snapshot-only (sequence mode places arrivals with the core algorithms)", a.Name)
+		}
+	}
+	for _, w := range g.Workloads {
+		if w.Trace != nil {
+			return fmt.Errorf("sweep: workload %q is snapshot-only (sequence mode generates Poisson arrival sequences; trace replay is an open ROADMAP rung)", w.Name)
+		}
+	}
 	return nil
 }
 
@@ -361,6 +530,12 @@ type Scenario struct {
 	// size of this cell.
 	VMs       int
 	MeanBytes units.ByteSize
+	// Interarrival, SeqApps and Reeval are the swept arrival-process
+	// and migration-policy coordinates of a sequence cell; all zero for
+	// snapshot cells.
+	Interarrival time.Duration
+	SeqApps      int
+	Reeval       time.Duration
 }
 
 // traceSizes is the transfer-size dimension for trace workloads: traces
@@ -370,13 +545,20 @@ type Scenario struct {
 var traceSizes = []units.ByteSize{0}
 
 // Expand enumerates the cross product in a fixed order: topology,
-// workload, VM count, transfer size, algorithm, seed — the outermost
-// dimension varying slowest. Trace workloads skip the transfer-size
-// dimension (see traceSizes).
+// workload, VM count, transfer size, interarrival, sequence length,
+// re-evaluation period, algorithm, seed — the outermost dimension
+// varying slowest. Snapshot grids collapse the three sequence
+// dimensions to single zero placeholders, reducing to the original
+// six-dimension order. Trace workloads skip the transfer-size dimension
+// (see traceSizes).
 func (g *Grid) Expand() ([]Scenario, error) {
 	g.applyDefaults()
 	if err := g.Validate(); err != nil {
 		return nil, err
+	}
+	inters, seqApps, reevals := []time.Duration{0}, []int{0}, []time.Duration{0}
+	if g.Mode == Sequence {
+		inters, seqApps, reevals = g.Interarrivals, g.SeqApps, g.Reevals
 	}
 	var out []Scenario
 	for _, tp := range g.Topologies {
@@ -387,17 +569,26 @@ func (g *Grid) Expand() ([]Scenario, error) {
 			}
 			for _, vms := range g.VMCounts {
 				for _, size := range sizes {
-					for _, alg := range g.Algorithms {
-						for _, seed := range g.Seeds {
-							out = append(out, Scenario{
-								Index:     len(out),
-								Topology:  tp,
-								Workload:  wl,
-								Algorithm: alg,
-								Seed:      seed,
-								VMs:       vms,
-								MeanBytes: size,
-							})
+					for _, inter := range inters {
+						for _, apps := range seqApps {
+							for _, reeval := range reevals {
+								for _, alg := range g.Algorithms {
+									for _, seed := range g.Seeds {
+										out = append(out, Scenario{
+											Index:        len(out),
+											Topology:     tp,
+											Workload:     wl,
+											Algorithm:    alg,
+											Seed:         seed,
+											VMs:          vms,
+											MeanBytes:    size,
+											Interarrival: inter,
+											SeqApps:      apps,
+											Reeval:       reeval,
+										})
+									}
+								}
+							}
 						}
 					}
 				}
@@ -436,6 +627,16 @@ func (sc Scenario) cloudSeed() int64 {
 	mixInt(int64(sc.VMs))
 	mixInt(int64(sc.MeanBytes))
 	mixInt(sc.Seed)
+	// The sequence coordinates (interarrival, sequence length,
+	// re-evaluation period) are deliberately not mixed in — and not only
+	// to keep every snapshot cell's seed (and hence the golden reports)
+	// stable. Sequence cells that differ only in those coordinates share
+	// one cloud, and GenerateSequence draws the identical applications
+	// for any interarrival mean, so sweeping the arrival or migration
+	// dimensions is a same-cloud, same-applications comparison — the
+	// §6.3 analogue of every algorithm in a cell group facing the
+	// identical cloud. The cells remain distinct in the environment
+	// cache, whose Key carries the sequence coordinates explicitly.
 	// Keep it positive and well away from zero for rand.NewSource.
 	return int64(h&0x7fffffffffffffff) | 1
 }

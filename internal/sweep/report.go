@@ -22,6 +22,10 @@ type Aggregate struct {
 	// Slowdown summarizes slowdown vs the exact optimum, over the
 	// scenarios where the optimum was computable (nil when none were).
 	Slowdown *stats.Summary `json:"slowdown,omitempty"`
+	// Migrations summarizes per-scenario migration counts; present only
+	// for sequence cells (snapshot aggregates are byte-identical to what
+	// they were before sequence mode existed).
+	Migrations *stats.Summary `json:"migrations,omitempty"`
 	// PlaceLatency summarizes wall-clock placement latency in seconds.
 	// Nondeterministic; populated only when the grid's Timing knob is
 	// on, so default reports stay byte-reproducible.
@@ -61,16 +65,31 @@ type Summary struct {
 // compare (and hash) this echo to refuse combining runs produced under
 // different flags.
 type GridSummary struct {
+	// Mode is "sequence" for §6.3 in-sequence grids; absent for
+	// snapshot grids, whose echoes stay byte-identical to what they
+	// were before sequence mode existed (resume and merge compare them
+	// verbatim).
+	Mode       string   `json:"mode,omitempty"`
 	Topologies []string `json:"topologies"`
 	Workloads  []string `json:"workloads"`
 	Algorithms []string `json:"algorithms"`
 	Seeds      []int64  `json:"seeds"`
 	VMCounts   []int    `json:"vms"`
 	MeanBytes  []int64  `json:"meanBytes"`
-	Apps       int      `json:"apps"`
-	MinTasks   int      `json:"minTasks"`
-	MaxTasks   int      `json:"maxTasks"`
-	Model      string   `json:"model"`
+	// InterarrivalNs, SeqApps and ReevalNs are the sequence dimensions
+	// in nanoseconds / applications-per-sequence; sequence grids only.
+	InterarrivalNs []int64 `json:"interarrivalNs,omitempty"`
+	SeqApps        []int   `json:"seqApps,omitempty"`
+	ReevalNs       []int64 `json:"reevalNs,omitempty"`
+	// MigrationGain and MaxMigrations are the sequence grids' scalar
+	// migration knobs; they shape result lines, so they are part of the
+	// echo (and hence the grid hash) like every other knob.
+	MigrationGain float64 `json:"migrationGain,omitempty"`
+	MaxMigrations int     `json:"maxMigrations,omitempty"`
+	Apps          int     `json:"apps"`
+	MinTasks      int     `json:"minTasks"`
+	MaxTasks      int     `json:"maxTasks"`
+	Model         string  `json:"model"`
 	// OptimalMaxTasks/OptimalMaxNodes bound the slowdown-vs-optimal
 	// reference, so they change result lines too.
 	OptimalMaxTasks int  `json:"optimalMaxTasks"`
@@ -114,6 +133,18 @@ func (g *Grid) summary(scenarios int) GridSummary {
 		sum.Workloads = append(sum.Workloads, w.Name)
 	}
 	sum.Algorithms = g.algorithmNames()
+	if g.Mode == Sequence {
+		sum.Mode = Sequence.String()
+		for _, ia := range g.Interarrivals {
+			sum.InterarrivalNs = append(sum.InterarrivalNs, int64(ia))
+		}
+		sum.SeqApps = append([]int(nil), g.SeqApps...)
+		for _, rv := range g.Reevals {
+			sum.ReevalNs = append(sum.ReevalNs, int64(rv))
+		}
+		sum.MigrationGain = g.MigrationGain
+		sum.MaxMigrations = g.MaxMigrations
+	}
 	return sum
 }
 
@@ -130,6 +161,7 @@ type Aggregator struct {
 	completions map[string][]float64
 	slowdowns   map[string][]float64
 	latencies   map[string][]float64
+	migrations  map[string][]float64
 }
 
 // NewAggregator aggregates over the given algorithm names in that
@@ -142,15 +174,22 @@ func NewAggregator(algorithms []string, timing bool) *Aggregator {
 		completions: make(map[string][]float64),
 		slowdowns:   make(map[string][]float64),
 		latencies:   make(map[string][]float64),
+		migrations:  make(map[string][]float64),
 	}
 }
 
-// Add folds one result into the per-algorithm series.
+// Add folds one result into the per-algorithm series. Sequence results
+// (recognizable by their sequence coordinates, so the shard merger's
+// recomputation needs no extra mode plumbing) also feed the migration
+// series.
 func (a *Aggregator) Add(r Result) {
 	a.completions[r.Algorithm] = append(a.completions[r.Algorithm], r.CompletionSeconds)
 	a.latencies[r.Algorithm] = append(a.latencies[r.Algorithm], r.PlaceLatency.Seconds())
 	if r.Slowdown != nil {
 		a.slowdowns[r.Algorithm] = append(a.slowdowns[r.Algorithm], *r.Slowdown)
+	}
+	if r.SeqApps > 0 {
+		a.migrations[r.Algorithm] = append(a.migrations[r.Algorithm], float64(r.Migrations))
 	}
 }
 
@@ -177,6 +216,13 @@ func (a *Aggregator) Aggregates() ([]Aggregate, error) {
 			}
 			agg.Slowdown = &s
 		}
+		if migrations := a.migrations[name]; len(migrations) > 0 {
+			s, err := stats.Summarize(migrations)
+			if err != nil {
+				return nil, err
+			}
+			agg.Migrations = &s
+		}
 		if a.timing {
 			lat := agg.latency
 			agg.PlaceLatency = &lat
@@ -195,13 +241,25 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// WriteCSV writes one deterministic row per scenario.
+// WriteCSV writes one deterministic row per scenario. Sequence reports
+// swap the snapshot-only optimal/slowdown columns for the sequence
+// coordinates and migration count (the completion column then carries
+// the §6.3 total running time).
 func (r *Report) WriteCSV(w io.Writer) error {
+	sequence := r.Grid.Mode == Sequence.String()
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
+	header := []string{
 		"topology", "workload", "algorithm", "seed", "vms", "mean_bytes", "tasks",
 		"completion_seconds", "optimal_seconds", "slowdown",
-	}); err != nil {
+	}
+	if sequence {
+		header = []string{
+			"topology", "workload", "algorithm", "seed", "vms", "mean_bytes",
+			"interarrival_seconds", "seq_apps", "reeval_seconds", "tasks",
+			"total_running_seconds", "migrations",
+		}
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -217,8 +275,15 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		row := []string{
 			s.Topology, s.Workload, s.Algorithm,
 			strconv.FormatInt(s.Seed, 10),
-			strconv.Itoa(s.VMs), strconv.FormatInt(s.MeanBytes, 10), strconv.Itoa(s.Tasks),
-			f(s.CompletionSeconds), fp(s.OptimalSeconds), fp(s.Slowdown),
+			strconv.Itoa(s.VMs), strconv.FormatInt(s.MeanBytes, 10),
+		}
+		if sequence {
+			row = append(row,
+				f(float64(s.InterarrivalNs)/1e9), strconv.Itoa(s.SeqApps), f(float64(s.ReevalNs)/1e9),
+				strconv.Itoa(s.Tasks), f(s.CompletionSeconds), strconv.Itoa(s.Migrations))
+		} else {
+			row = append(row,
+				strconv.Itoa(s.Tasks), f(s.CompletionSeconds), fp(s.OptimalSeconds), fp(s.Slowdown))
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -241,6 +306,25 @@ func (s *Summary) String() string {
 
 func renderSummary(grid GridSummary, algorithms []Aggregate) string {
 	var b strings.Builder
+	if grid.Mode == Sequence.String() {
+		fmt.Fprintf(&b, "sweep: %d sequence scenarios (%d topologies x %d workloads x %d vm-counts x %d sizes x %d interarrivals x %d lengths x %d reevals x %d algorithms x %d seeds)\n",
+			grid.Scenarios, len(grid.Topologies), len(grid.Workloads),
+			len(grid.VMCounts), len(grid.MeanBytes),
+			len(grid.InterarrivalNs), len(grid.SeqApps), len(grid.ReevalNs),
+			len(grid.Algorithms), len(grid.Seeds))
+		fmt.Fprintf(&b, "%-14s %5s %14s %14s %12s %14s\n",
+			"algorithm", "n", "mean total-run", "p95 total-run", "mean migr", "mean place")
+		for _, a := range algorithms {
+			migr := "-"
+			if a.Migrations != nil {
+				migr = fmt.Sprintf("%.2f", a.Migrations.Mean)
+			}
+			fmt.Fprintf(&b, "%-14s %5d %13.2fs %13.2fs %12s %13.2fms\n",
+				a.Algorithm, a.Scenarios, a.Completion.Mean, a.Completion.P95,
+				migr, a.latency.Mean*1e3)
+		}
+		return b.String()
+	}
 	fmt.Fprintf(&b, "sweep: %d scenarios (%d topologies x %d workloads x %d vm-counts x %d sizes x %d algorithms x %d seeds)\n",
 		grid.Scenarios, len(grid.Topologies), len(grid.Workloads),
 		len(grid.VMCounts), len(grid.MeanBytes),

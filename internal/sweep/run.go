@@ -14,6 +14,7 @@ import (
 	"choreo/internal/place"
 	"choreo/internal/profile"
 	"choreo/internal/sweep/envcache"
+	"choreo/internal/sweep/sequence"
 	"choreo/internal/topology"
 	"choreo/internal/workload"
 )
@@ -31,9 +32,24 @@ type Result struct {
 	// MeanBytes is the swept mean transfer size the cell's workload was
 	// generated with (the recorded sizes for trace workloads).
 	MeanBytes int64 `json:"meanBytes"`
-	Tasks     int   `json:"tasks"`
-	// CompletionSeconds is the application's simulated completion time
-	// under this placement (§6.2's metric, measurement excluded).
+	// InterarrivalNs, SeqApps and ReevalNs are a sequence cell's swept
+	// arrival-process and migration-policy coordinates (mean Poisson
+	// interarrival and §2.4 re-evaluation period in nanoseconds;
+	// ReevalNs 0 = no re-evaluation). All absent on snapshot cells, so
+	// snapshot result lines are byte-identical to what they were before
+	// sequence mode existed.
+	InterarrivalNs int64 `json:"interarrivalNs,omitempty"`
+	SeqApps        int   `json:"seqApps,omitempty"`
+	ReevalNs       int64 `json:"reevalNs,omitempty"`
+	// Tasks counts the placed tasks: the (combined) application's size
+	// in snapshot mode, the whole arrival sequence's total in sequence
+	// mode.
+	Tasks int `json:"tasks"`
+	// CompletionSeconds is the scenario's simulated outcome metric:
+	// the application's completion time under this placement in
+	// snapshot mode (§6.2's metric, measurement excluded), and the sum
+	// of per-application running times in sequence mode (§6.3's
+	// total-running metric).
 	CompletionSeconds float64 `json:"completionSeconds"`
 	// OptimalSeconds is the executed completion time of the exact
 	// branch-and-bound optimum (of the predicted objective) on the
@@ -47,7 +63,16 @@ type Result struct {
 	// when no finite ratio exists: no reference was computed, or the
 	// reference is 0 s and the scenario's completion is not.
 	Slowdown *float64 `json:"slowdown,omitempty"`
-	// PlaceLatency is the wall-clock time the placement algorithm took.
+	// Migrations counts the migrations a sequence cell performed across
+	// its whole arrival sequence (absent on snapshot cells and on
+	// sequence cells that never migrated).
+	Migrations int `json:"migrations,omitempty"`
+	// Apps holds a sequence cell's per-application event records in
+	// arrival order: arrival time, running time, migration count. Absent
+	// on snapshot cells.
+	Apps []sequence.AppEvent `json:"apps,omitempty"`
+	// PlaceLatency is the wall-clock time the placement algorithm took
+	// (summed over every arrival's measure+place in sequence mode).
 	// Deliberately excluded from JSON: see Grid.Timing.
 	PlaceLatency time.Duration `json:"-"`
 }
@@ -60,14 +85,16 @@ type Result struct {
 // the defaulted knobs the key covers.
 func (g *Grid) CellKey(sc Scenario) envcache.Key {
 	return envcache.Key{
-		Topology:  sc.Topology.Name,
-		Workload:  sc.Workload.Name,
-		CloudSeed: sc.cloudSeed(),
-		VMs:       sc.VMs,
-		MeanBytes: int64(sc.MeanBytes),
-		MinTasks:  g.MinTasks,
-		MaxTasks:  g.MaxTasks,
-		Apps:      g.Apps,
+		Topology:     sc.Topology.Name,
+		Workload:     sc.Workload.Name,
+		CloudSeed:    sc.cloudSeed(),
+		VMs:          sc.VMs,
+		MeanBytes:    int64(sc.MeanBytes),
+		MinTasks:     g.MinTasks,
+		MaxTasks:     g.MaxTasks,
+		Apps:         g.Apps,
+		Interarrival: int64(sc.Interarrival),
+		SeqApps:      sc.SeqApps,
 	}
 }
 
@@ -200,12 +227,111 @@ func placementInput(app *profile.Application, env *place.Environment) (*ilp.Plac
 	return in, nil
 }
 
+// sequenceParams collects a sequence scenario's cell parameters: the
+// swept arrival and re-evaluation coordinates plus the grid's scalar
+// migration knobs.
+func (g *Grid) sequenceParams(sc Scenario) sequence.Params {
+	return sequence.Params{
+		Apps:          sc.SeqApps,
+		Interarrival:  sc.Interarrival,
+		Reeval:        sc.Reeval,
+		MigrationGain: g.MigrationGain,
+		MaxMigrations: g.MaxMigrations,
+	}
+}
+
+// buildSequenceCell constructs and measures a sequence scenario's
+// environment: a fresh cloud, its pristine packet-train rate matrix (the
+// pre-sequence static measurement), and the cell-deterministic arrival
+// sequence. Every algorithm and re-evaluation period of the cell group
+// shares its output; each run takes a mutable CloneEnv, never the shared
+// entry, because sequence runs re-measure mid-flight.
+//
+// Cells differing only in interarrival or sequence length rebuild a
+// bit-identical cloud and measurement (cloudSeed excludes those
+// coordinates, but the cache Key cannot: the generated sequences
+// differ). Splitting the entry into a per-cloud measurement and a
+// per-arrival-process sequence would deduplicate that work; it is not
+// worth a second cache layer while build-and-measure stays this cheap.
+func (g *Grid) buildSequenceCell(sc Scenario) (*envcache.Cell, error) {
+	seed := sc.cloudSeed()
+	cfg := workload.Config{
+		MinTasks:  g.MinTasks,
+		MaxTasks:  g.MaxTasks,
+		MeanBytes: sc.MeanBytes,
+		Patterns:  sc.Workload.Patterns,
+	}
+	// Same rng offset as the snapshot generator, so the workload stream
+	// never aliases the cloud stream.
+	rng := rand.New(rand.NewSource(seed + 2))
+	seq, err := sequence.Generate(rng, cfg, g.sequenceParams(sc))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: generating %s sequence: %w", sc.Workload.Name, err)
+	}
+	orch, err := g.newOrchestrator(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	env, err := orch.MeasureEnvironment()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: measuring %s: %w", sc.Topology.Name, err)
+	}
+	return &envcache.Cell{Env: env, Seq: seq}, nil
+}
+
+// runSequenceScenario executes one sequence cell end to end: fetch (or
+// build) the measured cell, then play the arrival sequence with the
+// scenario's algorithm on a freshly rebuilt cloud — placing each
+// application as it arrives under the live cross traffic of the ones
+// already running, and migrating when re-evaluation predicts enough
+// gain. There is no optimal reference: the §6.3 comparison is
+// total running time across algorithms, not slowdown vs. an optimum.
+func (g *Grid) runSequenceScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
+	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildSequenceCell(sc) })
+	if err != nil {
+		return Result{}, err
+	}
+	exec, err := g.newOrchestrator(sc, sc.cloudSeed())
+	if err != nil {
+		return Result{}, err
+	}
+	cres, err := sequence.Run(exec, cell.Seq, sc.Algorithm.Core, cell.CloneEnv(), g.sequenceParams(sc))
+	if err != nil {
+		return Result{}, fmt.Errorf("sweep: sequence %s/%s/%s seed %d: %w",
+			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
+	}
+	tasks := 0
+	for _, app := range cell.Seq {
+		tasks += app.Tasks()
+	}
+	return Result{
+		Topology:          sc.Topology.Name,
+		Workload:          sc.Workload.Name,
+		Algorithm:         sc.Algorithm.Name,
+		Seed:              sc.Seed,
+		VMs:               sc.VMs,
+		MeanBytes:         int64(sc.MeanBytes),
+		InterarrivalNs:    int64(sc.Interarrival),
+		SeqApps:           sc.SeqApps,
+		ReevalNs:          int64(sc.Reeval),
+		Tasks:             tasks,
+		CompletionSeconds: cres.TotalRunningSeconds,
+		Migrations:        cres.Migrations,
+		Apps:              cres.Apps,
+		PlaceLatency:      cres.PlaceLatency,
+	}, nil
+}
+
 // runScenario executes one grid cell end to end: fetch (or build) the
 // measured environment, place with the scenario's algorithm, execute the
 // placement on a freshly rebuilt cloud, and attach the slowdown-vs-
-// optimal reference. A nil cache builds every cell from scratch; either
-// way the result bytes are identical.
+// optimal reference. Sequence cells dispatch to runSequenceScenario
+// instead. A nil cache builds every cell from scratch; either way the
+// result bytes are identical.
 func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
+	if g.Mode == Sequence {
+		return g.runSequenceScenario(sc, cache)
+	}
 	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildCell(sc) })
 	if err != nil {
 		return Result{}, err

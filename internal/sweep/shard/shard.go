@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"choreo/internal/sweep"
 	"choreo/internal/sweep/envcache"
@@ -75,9 +76,11 @@ func (s Spec) validate() error {
 }
 
 // Identity names one scenario of a grid: the cell-group coordinates
-// (which also derive envcache.Key) plus the algorithm. Result lines
-// carry exactly these fields, so identity — not file position — is what
-// ties a line in a shard or resume file back to its grid cell.
+// (which also derive envcache.Key) plus the algorithm — and, for
+// sequence cells, the swept arrival-process and re-evaluation
+// coordinates, which are all zero on snapshot cells. Result lines carry
+// exactly these fields, so identity — not file position — is what ties
+// a line in a shard or resume file back to its grid cell.
 type Identity struct {
 	Topology  string
 	Workload  string
@@ -85,32 +88,48 @@ type Identity struct {
 	Seed      int64
 	VMs       int
 	MeanBytes int64
+	// Interarrival and Reeval are in nanoseconds, as result lines carry
+	// them; SeqApps > 0 marks a sequence cell.
+	Interarrival int64
+	SeqApps      int
+	Reeval       int64
 }
 
 func (id Identity) String() string {
-	return fmt.Sprintf("%s/%s/%s seed %d vms %d meanBytes %d",
+	s := fmt.Sprintf("%s/%s/%s seed %d vms %d meanBytes %d",
 		id.Topology, id.Workload, id.Algorithm, id.Seed, id.VMs, id.MeanBytes)
+	if id.SeqApps > 0 {
+		s += fmt.Sprintf(" interarrival %v apps %d reeval %v",
+			time.Duration(id.Interarrival), id.SeqApps, time.Duration(id.Reeval))
+	}
+	return s
 }
 
 func resultIdentity(r sweep.Result) Identity {
 	return Identity{
-		Topology:  r.Topology,
-		Workload:  r.Workload,
-		Algorithm: r.Algorithm,
-		Seed:      r.Seed,
-		VMs:       r.VMs,
-		MeanBytes: r.MeanBytes,
+		Topology:     r.Topology,
+		Workload:     r.Workload,
+		Algorithm:    r.Algorithm,
+		Seed:         r.Seed,
+		VMs:          r.VMs,
+		MeanBytes:    r.MeanBytes,
+		Interarrival: r.InterarrivalNs,
+		SeqApps:      r.SeqApps,
+		Reeval:       r.ReevalNs,
 	}
 }
 
 func scenarioIdentity(sc sweep.Scenario) Identity {
 	return Identity{
-		Topology:  sc.Topology.Name,
-		Workload:  sc.Workload.Name,
-		Algorithm: sc.Algorithm.Name,
-		Seed:      sc.Seed,
-		VMs:       sc.VMs,
-		MeanBytes: int64(sc.MeanBytes),
+		Topology:     sc.Topology.Name,
+		Workload:     sc.Workload.Name,
+		Algorithm:    sc.Algorithm.Name,
+		Seed:         sc.Seed,
+		VMs:          sc.VMs,
+		MeanBytes:    int64(sc.MeanBytes),
+		Interarrival: int64(sc.Interarrival),
+		SeqApps:      sc.SeqApps,
+		Reeval:       int64(sc.Reeval),
 	}
 }
 
@@ -201,11 +220,17 @@ type lineProbe struct {
 // summaryIndex enumerates a grid echo's scenario identities in
 // expansion order, returning both the identity→index map and the
 // ordered list. It mirrors sweep.Grid.Expand — topology, workload, VM
-// count, transfer size, algorithm, seed, with trace workloads skipping
-// the transfer-size dimension — and a unit test cross-checks the two,
-// so the merger can recover expansion order from nothing but the grid
-// echo at the head of each shard.
+// count, transfer size, interarrival, sequence length, re-evaluation
+// period, algorithm, seed, with trace workloads skipping the
+// transfer-size dimension and snapshot grids collapsing the sequence
+// dimensions to single zero placeholders — and a unit test cross-checks
+// the two, so the merger can recover expansion order from nothing but
+// the grid echo at the head of each shard.
 func summaryIndex(s sweep.GridSummary) (map[Identity]int, []Identity, error) {
+	inters, seqApps, reevals := []int64{0}, []int{0}, []int64{0}
+	if s.Mode == "sequence" {
+		inters, seqApps, reevals = s.InterarrivalNs, s.SeqApps, s.ReevalNs
+	}
 	order := make([]Identity, 0, s.Scenarios)
 	idx := make(map[Identity]int, s.Scenarios)
 	for _, tp := range s.Topologies {
@@ -216,15 +241,22 @@ func summaryIndex(s sweep.GridSummary) (map[Identity]int, []Identity, error) {
 			}
 			for _, vms := range s.VMCounts {
 				for _, size := range sizes {
-					for _, alg := range s.Algorithms {
-						for _, seed := range s.Seeds {
-							id := Identity{Topology: tp, Workload: wl, Algorithm: alg,
-								Seed: seed, VMs: vms, MeanBytes: size}
-							if _, dup := idx[id]; dup {
-								return nil, nil, fmt.Errorf("shard: grid echo repeats scenario %s", id)
+					for _, inter := range inters {
+						for _, apps := range seqApps {
+							for _, reeval := range reevals {
+								for _, alg := range s.Algorithms {
+									for _, seed := range s.Seeds {
+										id := Identity{Topology: tp, Workload: wl, Algorithm: alg,
+											Seed: seed, VMs: vms, MeanBytes: size,
+											Interarrival: inter, SeqApps: apps, Reeval: reeval}
+										if _, dup := idx[id]; dup {
+											return nil, nil, fmt.Errorf("shard: grid echo repeats scenario %s", id)
+										}
+										idx[id] = len(order)
+										order = append(order, id)
+									}
+								}
 							}
-							idx[id] = len(order)
-							order = append(order, id)
 						}
 					}
 				}
