@@ -4,7 +4,7 @@
 GO  ?= go
 BIN ?= bin
 
-.PHONY: all build test bench lint sweep-smoke sweep-shard-smoke sweep-seq-smoke golden clean
+.PHONY: all build test bench lint sweep-smoke sweep-shard-smoke sweep-seq-smoke sweep-live-smoke golden clean
 
 all: build
 
@@ -84,6 +84,37 @@ sweep-seq-smoke: build
 	$(BIN)/choreo merge -out $(BIN)/seq-merged.jsonl $(BIN)/seq-shard1.jsonl $(BIN)/seq-shard2.jsonl
 	cmp $(BIN)/seq-s1.jsonl $(BIN)/seq-merged.jsonl
 	@echo "sequence sweep is byte-identical across worker counts, cache states and 2-shard merge"
+
+# The live-mesh acceptance check: a small grid swept twice against a
+# loopback fleet of real choreo-agents must produce schema-stable
+# output — identical grid echoes (backend included) and line counts —
+# and a complete live report must replay byte-identically through
+# -resume, which parses every line back to its scenario identity (the
+# same machinery shards and merges use). The replay needs no agents:
+# nothing re-runs, proving resume really skips measured cells.
+LIVE_AGENTS = 127.0.0.1:17131,127.0.0.1:17132,127.0.0.1:17133
+LIVE_FLAGS = -backend live -agents $(LIVE_AGENTS) \
+	-topologies ec2-2013 -workloads shuffle -vms 3 -mean-mb 64 \
+	-algorithms choreo,random -seeds 1 -bursts 2 -burstlen 20 -packet 512
+
+sweep-live-smoke: build
+	@set -e; \
+	$(BIN)/choreo-agent -listen 127.0.0.1:17131 & a1=$$!; \
+	$(BIN)/choreo-agent -listen 127.0.0.1:17132 & a2=$$!; \
+	$(BIN)/choreo-agent -listen 127.0.0.1:17133 & a3=$$!; \
+	trap 'kill $$a1 $$a2 $$a3 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	$(BIN)/choreo sweep $(LIVE_FLAGS) -stream -out $(BIN)/live-run1.jsonl; \
+	$(BIN)/choreo sweep $(LIVE_FLAGS) -stream -out $(BIN)/live-run2.jsonl; \
+	head -n 1 $(BIN)/live-run1.jsonl > $(BIN)/live-grid1.json; \
+	head -n 1 $(BIN)/live-run2.jsonl > $(BIN)/live-grid2.json; \
+	cmp $(BIN)/live-grid1.json $(BIN)/live-grid2.json; \
+	n1=$$(wc -l < $(BIN)/live-run1.jsonl); n2=$$(wc -l < $(BIN)/live-run2.jsonl); \
+	[ "$$n1" -eq "$$n2" ]; \
+	kill $$a1 $$a2 $$a3 2>/dev/null || true; \
+	$(BIN)/choreo sweep $(LIVE_FLAGS) -stream -resume $(BIN)/live-run1.jsonl -out $(BIN)/live-replay.jsonl; \
+	cmp $(BIN)/live-run1.jsonl $(BIN)/live-replay.jsonl
+	@echo "live-mesh sweep output is schema-stable across runs and replays byte-identically through -resume"
 
 # Regenerate the sweep engine's golden report after an intended grid or
 # engine change, then re-run the test to prove the new golden holds.

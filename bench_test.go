@@ -561,6 +561,34 @@ func BenchmarkPacketTrain(b *testing.B) {
 	}
 }
 
+// BenchmarkMeasureMesh measures the full-mesh packet-train measurement
+// of a 10-VM tenant — the 90-pair "under three minutes" mesh of §4.1,
+// and the expensive half of every sweep cell build. Path states for the
+// whole mesh are snapshotted in one batched pass (netsim's
+// BatchAvailability reads uncontended pairs off cached constraint
+// capacities instead of running four allocator probes per pair), so
+// this pins the mesh-measurement hot path the ROADMAP named.
+func BenchmarkMeasureMesh(b *testing.B) {
+	prov, err := topology.NewProvider(topology.EC22013(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vms, err := prov.AllocateVMs(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orch, err := core.New(netsim.New(prov), vms, rand.New(rand.NewSource(5)), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := orch.MeasureEnvironment(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGreedyPlacement measures Algorithm 1 on a 10-task application.
 func BenchmarkGreedyPlacement(b *testing.B) {
 	app, env := benchApp(b, 999)

@@ -24,7 +24,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "choreo-agent: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("choreo-agent: control %s, udp echo port %d\n", agent.Addr(), agent.EchoPort())
+	fmt.Printf("choreo-agent: control %s, udp echo port %d, protocol v%d\n",
+		agent.Addr(), agent.EchoPort(), cluster.ProtocolVersion)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

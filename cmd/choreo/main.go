@@ -34,10 +34,19 @@
 //	    migrated when the predicted completion improves by
 //	    -migration-gain; reports per-app events and total running time.
 //
+//	choreo sweep -backend live -agents host1:7101,host2:7101,host3:7101 -vms 3
+//	    run the grid against a real choreo-agent mesh: each cell's VM
+//	    slots map onto live agents, rate matrices come from packet
+//	    trains over real sockets, and completion times are the
+//	    predicted objective on the measured rates. The report schema is
+//	    identical to the simulated path, so sim and live runs of one
+//	    grid diff cleanly.
+//
 //	choreo merge -out merged.jsonl shard1.jsonl shard2.jsonl shard3.jsonl
 //	    validate n shard files (same grid, disjoint coverage, no gaps)
 //	    and splice them into one report, byte-identical to the unsharded
-//	    `choreo sweep -stream` run of the same grid.
+//	    `choreo sweep -stream` run of the same grid. Mixing simulated
+//	    and live shards is rejected with a precise error.
 package main
 
 import (

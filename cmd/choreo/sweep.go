@@ -11,7 +11,10 @@ import (
 	"time"
 
 	"choreo/internal/place"
+	"choreo/internal/probe"
 	"choreo/internal/sweep"
+	"choreo/internal/sweep/backend"
+	"choreo/internal/sweep/envcache"
 	"choreo/internal/sweep/shard"
 	"choreo/internal/units"
 	"choreo/internal/workload"
@@ -36,6 +39,15 @@ import (
 // -reeval. Shared dimension flags the user leaves unset fall back to
 // mode-appropriate defaults in the "sequence" branch of the mode
 // switch below, matching sweep.DefaultSequence.
+//
+// -backend live swaps the measurement plane: instead of building a
+// simulated cloud per cell, every cell's VM slots map onto real
+// choreo-agent addresses (-agents) and the rate matrix comes from
+// packet trains over real sockets. The report schema, grid hashing,
+// -stream/-shard/-resume and `choreo merge` machinery are identical,
+// so a simulated and a live run of the same grid diff line for line —
+// but the grid echo carries the backend, so the two can never be
+// merged or resumed into each other.
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	mode := fs.String("mode", "snapshot", "cell mode: snapshot (§6.2 single placements) or sequence (§6.3 in-sequence arrivals + migration)")
@@ -55,6 +67,13 @@ func runSweep(args []string) error {
 	migrationGain := fs.Float64("migration-gain", 0.2, "minimum predicted relative improvement to migrate (sequence mode)")
 	maxMigrations := fs.Int("max-migrations", 3, "migration cap per application (sequence mode)")
 	model := fs.String("model", "hose", "rate model: hose or pipe")
+	backendName := fs.String("backend", "sim", "measurement backend: sim (deterministic netsim cloud) or live (real choreo-agent mesh)")
+	agents := fs.String("agents", "", "comma-separated choreo-agent control addresses (-backend live)")
+	agentTimeout := fs.Duration("agent-timeout", 30*time.Second, "per-operation agent timeout (-backend live)")
+	bursts := fs.Int("bursts", 10, "bursts per live packet train (-backend live)")
+	burstLen := fs.Int("burstlen", 200, "packets per live burst (-backend live)")
+	packet := fs.Int("packet", 1472, "live train packet size in bytes (-backend live)")
+	gap := fs.Duration("gap", time.Millisecond, "inter-burst gap for live trains (-backend live)")
 	tracePath := fs.String("trace", "", "JSON trace file to replay as an extra workload")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (0 = GOMAXPROCS)")
 	optMaxTasks := fs.Int("optimal-max-tasks", 6, "compute the slowdown-vs-optimal reference up to this many tasks (0 disables)")
@@ -195,6 +214,43 @@ func runSweep(args []string) error {
 	}
 	g.Seeds = seeds
 
+	switch *backendName {
+	case "sim":
+		// A live-only flag on a simulated sweep would be silently ignored;
+		// fail with the fix instead.
+		for _, name := range []string{"agents", "agent-timeout", "bursts", "burstlen", "packet", "gap"} {
+			if set[name] {
+				return fmt.Errorf("-%s configures the live measurement backend; add -backend live", name)
+			}
+		}
+	case "live":
+		addrs := splitList(*agents)
+		if len(addrs) < 2 {
+			return fmt.Errorf("-backend live needs at least two -agents control addresses (start one choreo-agent per VM)")
+		}
+		live, err := backend.NewLive(backend.LiveConfig{
+			Agents:  addrs,
+			Timeout: *agentTimeout,
+			Train: probe.Config{
+				PacketSize:  units.ByteSize(*packet),
+				Bursts:      *bursts,
+				BurstLength: *burstLen,
+				Gap:         *gap,
+				MSS:         1460,
+			},
+			// Stamp each invocation as its own mesh epoch: a real cloud
+			// drifts between sweeps, so two runs' measurements must never
+			// be conflated by anything keyed on cell identity.
+			Epoch: time.Now().Unix(),
+		})
+		if err != nil {
+			return err
+		}
+		g.Backend = live
+	default:
+		return fmt.Errorf("unknown -backend %q (sim or live)", *backendName)
+	}
+
 	opts := sweep.RunOptions{Workers: *workers, NoCache: !*cache}
 
 	if *resumePath != "" {
@@ -250,7 +306,7 @@ func runSweep(args []string) error {
 	// Human summary on stderr so stdout stays machine-parseable.
 	fmt.Fprint(os.Stderr, rep.String())
 	if *cacheStats {
-		printCacheStats(rep.Cache.Hits, rep.Cache.Misses)
+		printCacheStats(rep.Cache)
 	}
 	return nil
 }
@@ -278,7 +334,7 @@ func streamSweep(g sweep.Grid, opts sweep.RunOptions, dest string, cacheStats bo
 		}
 		fmt.Fprint(os.Stderr, sum.String())
 		if cacheStats {
-			printCacheStats(sum.Cache.Hits, sum.Cache.Misses)
+			printCacheStats(sum.Cache)
 		}
 		return nil
 	})
@@ -315,20 +371,24 @@ func streamShard(g sweep.Grid, opts sweep.RunOptions, spec shard.Spec, dest stri
 		fmt.Fprintf(os.Stderr, "shard %s: %d of %d scenarios\n", spec, len(include), hdr.Scenarios)
 		fmt.Fprint(os.Stderr, sum.String())
 		if cacheStats {
-			printCacheStats(sum.Cache.Hits, sum.Cache.Misses)
+			printCacheStats(sum.Cache)
 		}
 		return nil
 	})
 }
 
-func printCacheStats(hits, misses int64) {
-	total := hits + misses
+func printCacheStats(stats envcache.Stats) {
+	total := stats.Hits + stats.Misses
 	pct := 0.0
 	if total > 0 {
-		pct = 100 * float64(hits) / float64(total)
+		pct = 100 * float64(stats.Hits) / float64(total)
 	}
 	fmt.Fprintf(os.Stderr, "envcache: %d hits / %d misses (%.0f%% of cell fetches served from cache)\n",
-		hits, misses, pct)
+		stats.Hits, stats.Misses, pct)
+	if stats.MeasurementHits+stats.MeasurementMisses > 0 {
+		fmt.Fprintf(os.Stderr, "envcache: %d clouds measured, %d measurements shared across arrival-process cells\n",
+			stats.MeasurementMisses, stats.MeasurementHits)
+	}
 }
 
 // printGridHelp renders the -list output: every valid dimension value
@@ -336,6 +396,9 @@ func printCacheStats(hits, misses int64) {
 func printGridHelp(w io.Writer) {
 	fmt.Fprintf(w, "modes:      snapshot (default: one static placement per cell, §6.2)\n")
 	fmt.Fprintf(w, "            sequence (in-sequence arrivals + re-evaluation/migration, §6.3)\n")
+	fmt.Fprintf(w, "backends:   sim (default: deterministic netsim cloud)\n")
+	fmt.Fprintf(w, "            live (real choreo-agent mesh via -agents; snapshot mode only;\n")
+	fmt.Fprintf(w, "             completion times are the predicted objective on the measured rates)\n")
 	fmt.Fprintf(w, "topologies: %s\n", strings.Join(sweep.TopologyNames(), ", "))
 	fmt.Fprintf(w, "            (fattree-K takes any even K >= 2; jellyfish-N any N >= 4 switches)\n")
 	fmt.Fprintf(w, "workloads:  %s (or -trace file.json; traces are snapshot-only)\n", strings.Join(sweep.WorkloadNames(), ", "))

@@ -12,8 +12,33 @@ import (
 	"choreo/internal/units"
 )
 
+// ProtocolVersion is the control-protocol revision spoken by this build
+// of the coordinator and choreo-agent. Version 1 is the original,
+// unversioned wire format (requests and responses without a "v" field
+// decode as version 0 and are treated as v1). Both sides echo the
+// version on every message and refuse mismatches with a precise
+// "speaks vN, need vM" error, so a coordinator talking to a stale agent
+// fails immediately instead of hanging on a half-understood exchange.
+//
+// History:
+//
+//	v1: unversioned original protocol
+//	v2: added the version handshake itself
+const ProtocolVersion = 2
+
+// protocolVersionOf normalizes a wire version: a missing field (0) is
+// the pre-handshake v1 format.
+func protocolVersionOf(v int) int {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
 // Request is one control-protocol command, sent as a JSON line.
 type Request struct {
+	// V is the sender's ProtocolVersion; absent means v1.
+	V  int    `json:"v,omitempty"`
 	Op string `json:"op"`
 
 	// Train and bulk parameters.
@@ -41,6 +66,8 @@ type BurstJSON struct {
 // (udp-recv, tcp-recv) reply twice: first with the data port, then with
 // the result.
 type Response struct {
+	// V is the agent's ProtocolVersion; absent means v1.
+	V     int    `json:"v,omitempty"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
@@ -122,15 +149,26 @@ func (a *Agent) handle(conn net.Conn) {
 			return
 		}
 		if err := a.dispatch(&req, enc); err != nil {
-			_ = enc.Encode(Response{Error: err.Error()})
+			_ = reply(enc, Response{Error: err.Error()})
 		}
 	}
 }
 
+// reply stamps the agent's protocol version on a response and encodes
+// it; every response line, error responses included, carries it so the
+// coordinator can verify the handshake on the very first exchange.
+func reply(enc *json.Encoder, resp Response) error {
+	resp.V = ProtocolVersion
+	return enc.Encode(resp)
+}
+
 func (a *Agent) dispatch(req *Request, enc *json.Encoder) error {
+	if v := protocolVersionOf(req.V); v != ProtocolVersion {
+		return fmt.Errorf("cluster: choreo-agent speaks protocol v%d, coordinator speaks v%d; upgrade so both sides match", ProtocolVersion, v)
+	}
 	switch req.Op {
 	case "info":
-		return enc.Encode(Response{OK: true, EchoPort: a.echo.Port()})
+		return reply(enc, Response{OK: true, EchoPort: a.echo.Port()})
 
 	case "udp-recv":
 		cfg := reqConfig(req)
@@ -139,7 +177,7 @@ func (a *Agent) dispatch(req *Request, enc *json.Encoder) error {
 			return err
 		}
 		defer recv.Close()
-		if err := enc.Encode(Response{OK: true, Port: recv.Port()}); err != nil {
+		if err := reply(enc, Response{OK: true, Port: recv.Port()}); err != nil {
 			return err
 		}
 		obs, err := recv.Receive(cfg, time.Duration(req.RTTNs),
@@ -155,21 +193,21 @@ func (a *Agent) dispatch(req *Request, enc *json.Encoder) error {
 				SpanNs: int64(b.Span),
 			})
 		}
-		return enc.Encode(resp)
+		return reply(enc, resp)
 
 	case "udp-send":
 		cfg := reqConfig(req)
 		if err := SendTrain(req.Target, cfg); err != nil {
 			return err
 		}
-		return enc.Encode(Response{OK: true})
+		return reply(enc, Response{OK: true})
 
 	case "rtt":
 		rtt, err := MeasureRTT(req.Target, req.Count, reqTimeout(req, time.Second))
 		if err != nil {
 			return err
 		}
-		return enc.Encode(Response{OK: true, RTTNs: int64(rtt)})
+		return reply(enc, Response{OK: true, RTTNs: int64(rtt)})
 
 	case "tcp-recv":
 		recv, err := NewBulkReceiver(a.ip)
@@ -177,14 +215,14 @@ func (a *Agent) dispatch(req *Request, enc *json.Encoder) error {
 			return err
 		}
 		defer recv.Close()
-		if err := enc.Encode(Response{OK: true, Port: recv.Port()}); err != nil {
+		if err := reply(enc, Response{OK: true, Port: recv.Port()}); err != nil {
 			return err
 		}
 		rate, bytes, err := recv.Receive(reqTimeout(req, 30*time.Second))
 		if err != nil {
 			return err
 		}
-		return enc.Encode(Response{OK: true, RateBits: float64(rate), Bytes: int64(bytes)})
+		return reply(enc, Response{OK: true, RateBits: float64(rate), Bytes: int64(bytes)})
 
 	case "tcp-send":
 		dur := time.Duration(req.DurationMs) * time.Millisecond
@@ -195,7 +233,7 @@ func (a *Agent) dispatch(req *Request, enc *json.Encoder) error {
 		if err != nil {
 			return err
 		}
-		return enc.Encode(Response{OK: true, Bytes: int64(sent)})
+		return reply(enc, Response{OK: true, Bytes: int64(sent)})
 	}
 	return fmt.Errorf("cluster: unknown op %q", req.Op)
 }

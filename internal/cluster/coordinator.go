@@ -32,9 +32,11 @@ func (c *Coordinator) Agents() int { return len(c.agents) }
 
 // session is one control connection.
 type session struct {
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	addr    string
+	timeout time.Duration
 }
 
 func (c *Coordinator) dial(addr string) (*session, error) {
@@ -43,26 +45,50 @@ func (c *Coordinator) dial(addr string) (*session, error) {
 		return nil, fmt.Errorf("cluster: dial agent %s: %w", addr, err)
 	}
 	return &session{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		dec:     json.NewDecoder(bufio.NewReader(conn)),
+		addr:    addr,
+		timeout: c.timeout,
 	}, nil
 }
 
 func (s *session) call(req *Request) (*Response, error) {
-	if err := s.enc.Encode(req); err != nil {
+	req.V = ProtocolVersion
+	if err := s.conn.SetWriteDeadline(time.Now().Add(s.timeout)); err != nil {
 		return nil, err
+	}
+	if err := s.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("cluster: send to agent %s: %w", s.addr, err)
 	}
 	return s.read()
 }
 
+// read decodes one response within the session timeout. A peer that
+// accepted the connection but never answers — a wedged or pre-protocol
+// process — therefore fails with a deadline error instead of hanging
+// the coordinator forever.
 func (s *session) read() (*Response, error) {
-	var resp Response
-	if err := s.dec.Decode(&resp); err != nil {
+	return s.readWithin(s.timeout)
+}
+
+// readWithin decodes one response with an explicit deadline; two-phase
+// operations use it for the result line, whose arrival is bounded by
+// the remote measurement's own timeout rather than one control
+// round-trip.
+func (s *session) readWithin(d time.Duration) (*Response, error) {
+	if err := s.conn.SetReadDeadline(time.Now().Add(d)); err != nil {
 		return nil, err
 	}
+	var resp Response
+	if err := s.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: agent %s: %w", s.addr, err)
+	}
 	if resp.Error != "" {
-		return nil, fmt.Errorf("cluster: agent error: %s", resp.Error)
+		return nil, fmt.Errorf("cluster: agent %s: %s", s.addr, resp.Error)
+	}
+	if v := protocolVersionOf(resp.V); v != ProtocolVersion {
+		return nil, fmt.Errorf("cluster: agent %s speaks protocol v%d, need v%d; upgrade choreo-agent", s.addr, v, ProtocolVersion)
 	}
 	return &resp, nil
 }
@@ -141,7 +167,9 @@ func (c *Coordinator) MeasurePath(src, dst int, cfg probe.Config) (probe.Observa
 		return probe.Observation{}, fmt.Errorf("cluster: send train %d->%d: %w", src, dst, err)
 	}
 
-	result, err := dstSess.read()
+	// The result line lands once the receiver finishes or its own
+	// timeout (TimeoutMs above) fires, so allow that plus slack.
+	result, err := dstSess.readWithin(c.timeout + 5*time.Second)
 	if err != nil {
 		return probe.Observation{}, fmt.Errorf("cluster: train result %d->%d: %w", src, dst, err)
 	}
@@ -166,6 +194,10 @@ type MeshResult struct {
 }
 
 // MeasureMesh measures all ordered pairs sequentially, as Choreo does.
+// A failing pair aborts the mesh with the pair's coordinates, both
+// agents' addresses and how far the mesh had got — the partial-mesh
+// report that tells an operator exactly which path (and which agent)
+// to look at.
 func (c *Coordinator) MeasureMesh(cfg probe.Config) (*MeshResult, error) {
 	n := len(c.agents)
 	if n < 2 {
@@ -176,6 +208,7 @@ func (c *Coordinator) MeasureMesh(cfg probe.Config) (*MeshResult, error) {
 		res.Rates[i] = make([]units.Rate, n)
 	}
 	start := time.Now()
+	done, total := 0, n*(n-1)
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {
 			if src == dst {
@@ -183,13 +216,16 @@ func (c *Coordinator) MeasureMesh(cfg probe.Config) (*MeshResult, error) {
 			}
 			obs, err := c.MeasurePath(src, dst, cfg)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("cluster: mesh pair %d->%d (%s -> %s) failed after %d of %d pairs: %w",
+					src, dst, c.agents[src], c.agents[dst], done, total, err)
 			}
 			est, err := obs.EstimateThroughput()
 			if err != nil {
-				return nil, fmt.Errorf("cluster: estimate %d->%d: %w", src, dst, err)
+				return nil, fmt.Errorf("cluster: estimate %d->%d (%s -> %s): %w",
+					src, dst, c.agents[src], c.agents[dst], err)
 			}
 			res.Rates[src][dst] = est
+			done++
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -225,7 +261,7 @@ func (c *Coordinator) BulkThroughput(src, dst int, duration time.Duration) (unit
 	if _, err := srcSess.call(&Request{Op: "tcp-send", Target: target, DurationMs: duration.Milliseconds()}); err != nil {
 		return 0, err
 	}
-	result, err := dstSess.read()
+	result, err := dstSess.readWithin(duration + c.timeout)
 	if err != nil {
 		return 0, err
 	}

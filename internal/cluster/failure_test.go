@@ -1,0 +1,191 @@
+package cluster_test
+
+// Coordinator failure-path tests over the loopback live-mesh harness:
+// a dead agent mid-mesh, a dial failure, a wedged (accepting but
+// silent) agent, and protocol-version mismatches in both directions.
+// External test package so the harness (which imports cluster) can be
+// reused.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"choreo/internal/cluster"
+	"choreo/internal/sweep/backend/livetest"
+)
+
+// TestMeshAgentDiesMidMeasurement kills one agent of a three-agent mesh
+// and checks the partial-mesh error names the failing pair, both
+// addresses and how far the mesh got — not a bare decode error.
+func TestMeshAgentDiesMidMeasurement(t *testing.T) {
+	mesh, err := livetest.Start(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	addrs := mesh.Addrs()
+	// Agents 0 and 1 keep serving, so pair 0->1 completes; the next pair
+	// in mesh order, 0->2, touches the dead agent and must fail with its
+	// coordinates.
+	if err := mesh.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := cluster.NewCoordinator(addrs, 2*time.Second)
+	_, err = coord.MeasureMesh(livetest.QuickTrain())
+	if err == nil {
+		t.Fatal("MeasureMesh succeeded with a dead agent")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "mesh pair 0->2") {
+		t.Errorf("error does not name the failing pair 0->2: %v", err)
+	}
+	if !strings.Contains(msg, addrs[2]) {
+		t.Errorf("error does not name the dead agent's address %s: %v", addrs[2], err)
+	}
+	if !strings.Contains(msg, "after 1 of 6 pairs") {
+		t.Errorf("error does not report partial-mesh progress (want \"after 1 of 6 pairs\"): %v", err)
+	}
+}
+
+// TestMeshDialFailure points the coordinator at an address nothing
+// listens on: the mesh must fail on the very first pair with a dial
+// error carrying the address.
+func TestMeshDialFailure(t *testing.T) {
+	mesh, err := livetest.Start(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	// Reserve a port and release it so the dial is refused quickly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	coord := cluster.NewCoordinator([]string{mesh.Addrs()[0], dead}, 2*time.Second)
+	_, err = coord.MeasureMesh(livetest.QuickTrain())
+	if err == nil {
+		t.Fatal("MeasureMesh succeeded with an unreachable agent")
+	}
+	if !strings.Contains(err.Error(), "dial agent "+dead) {
+		t.Errorf("error does not surface the dial failure for %s: %v", dead, err)
+	}
+	if !strings.Contains(err.Error(), "mesh pair") {
+		t.Errorf("error does not name the failing pair: %v", err)
+	}
+}
+
+// TestSilentAgentTimesOut wedges the coordinator against a peer that
+// accepts the connection but never answers: before the session
+// deadlines this hung forever; now it must fail within the timeout.
+func TestSilentAgentTimesOut(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and say nothing
+		}
+	}()
+
+	coord := cluster.NewCoordinator([]string{ln.Addr().String(), ln.Addr().String()}, 300*time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.EchoAddr(0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("EchoAddr succeeded against a silent peer")
+		}
+		if !strings.Contains(err.Error(), ln.Addr().String()) {
+			t.Errorf("timeout error does not name the agent: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator hung against a silent peer (missing read deadline)")
+	}
+}
+
+// TestStaleAgentVersionRefused runs the coordinator against a fake
+// agent speaking the pre-handshake v1 wire format (no "v" field): the
+// failure must say which version each side speaks, not a decode error.
+func TestStaleAgentVersionRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := json.NewDecoder(bufio.NewReader(conn))
+		var req map[string]interface{}
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		// A v1 agent: answers happily, but without a version field.
+		fmt.Fprintf(conn, "{\"ok\":true,\"echoPort\":9}\n")
+	}()
+
+	coord := cluster.NewCoordinator([]string{ln.Addr().String(), ln.Addr().String()}, 2*time.Second)
+	_, err = coord.EchoAddr(0)
+	if err == nil {
+		t.Fatal("coordinator accepted a v1 response")
+	}
+	want := fmt.Sprintf("speaks protocol v1, need v%d", cluster.ProtocolVersion)
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error = %v, want it to contain %q", err, want)
+	}
+}
+
+// TestStaleCoordinatorVersionRefused sends a real agent a v1 request
+// (no "v" field): the agent must answer with a precise version error
+// instead of acting on a half-understood command.
+func TestStaleCoordinatorVersionRefused(t *testing.T) {
+	mesh, err := livetest.Start(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+
+	conn, err := net.Dial("tcp", mesh.Addrs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "{\"op\":\"info\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	var resp cluster.Response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Fatal("agent accepted a versionless (v1) request")
+	}
+	want := fmt.Sprintf("speaks protocol v%d, coordinator speaks v1", cluster.ProtocolVersion)
+	if !strings.Contains(resp.Error, want) {
+		t.Errorf("agent error = %q, want it to contain %q", resp.Error, want)
+	}
+	if resp.V != cluster.ProtocolVersion {
+		t.Errorf("agent error response carries v%d, want v%d", resp.V, cluster.ProtocolVersion)
+	}
+}

@@ -104,7 +104,12 @@ func (c *Choreo) VMs() []topology.VM { return c.vms }
 
 // MeasureEnvironment builds the placement environment: the full-mesh rate
 // matrix via packet trains (one train per ordered pair, §3.1), hose rates
-// as the per-source maximum, and the per-VM CPU capacity.
+// as the per-source maximum, and the per-VM CPU capacity. Path states for
+// the whole mesh are snapshotted in one batched pass (trains that share
+// no constraints with live traffic skip the per-pair allocator probes;
+// see packetsim.StatesOf), then the trains themselves run sequentially in
+// pair order, so the measurement noise stream — and hence every measured
+// rate — is bit-identical to the strictly sequential implementation.
 func (c *Choreo) MeasureEnvironment() (*place.Environment, error) {
 	n := len(c.vms)
 	env := &place.Environment{
@@ -114,6 +119,14 @@ func (c *Choreo) MeasureEnvironment() (*place.Environment, error) {
 	for i := range env.Rates {
 		env.Rates[i] = make([]units.Rate, n)
 		env.CPUCap[i] = c.opts.CPUPerVM
+	}
+	var states map[[2]topology.VMID]packetsim.PathState
+	if !c.opts.UseIdealMeasurement {
+		var err error
+		states, err = c.medium.StatesOf(c.vms)
+		if err != nil {
+			return nil, err
+		}
 	}
 	memBus := c.net.Provider().Profile.MemBusRate
 	for i, a := range c.vms {
@@ -130,7 +143,7 @@ func (c *Choreo) MeasureEnvironment() (*place.Environment, error) {
 				}
 				est = r
 			} else {
-				obs, err := c.medium.RunTrain(a.ID, b.ID, c.opts.TrainConfig)
+				obs, err := c.medium.RunTrainOn(states[[2]topology.VMID{a.ID, b.ID}], c.opts.TrainConfig)
 				if err != nil {
 					return nil, err
 				}
@@ -168,17 +181,25 @@ func (c *Choreo) DetectModel() (place.Model, error) {
 
 // Place runs the selected algorithm against a measured environment.
 func (c *Choreo) Place(app *profile.Application, env *place.Environment, alg Algorithm) (place.Placement, error) {
+	return PlaceWith(app, env, alg, c.opts.Model, c.rng)
+}
+
+// PlaceWith is the algorithm dispatcher behind Place, with the rate
+// model and rng explicit — for callers (the sweep engine) that place
+// against a measured environment without an orchestrator. rng drives
+// only the Random baseline.
+func PlaceWith(app *profile.Application, env *place.Environment, alg Algorithm, model place.Model, rng *rand.Rand) (place.Placement, error) {
 	switch alg {
 	case AlgChoreo:
-		return place.Greedy(app, env, c.opts.Model)
+		return place.Greedy(app, env, model)
 	case AlgRandom:
-		return place.Random(app, env, c.rng)
+		return place.Random(app, env, rng)
 	case AlgRoundRobin:
 		return place.RoundRobin(app, env)
 	case AlgMinMachines:
 		return place.MinMachines(app, env)
 	case AlgOptimal:
-		return place.Optimal(app, env, c.opts.Model, 0)
+		return place.Optimal(app, env, model, 0)
 	}
 	return place.Placement{}, fmt.Errorf("core: unknown algorithm %v", alg)
 }

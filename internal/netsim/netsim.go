@@ -624,6 +624,89 @@ func (n *Network) Availability(src, dst topology.VMID) (PathAvailability, error)
 	return av, nil
 }
 
+// BatchAvailability computes Availability for every ordered pair in one
+// pass — the mesh-measurement fast path. Trains run one at a time in
+// the measurement protocol, so each pair's availability is its
+// *isolated* share; the per-pair allocator probes (four allocator runs
+// and two flow-list mutations per pair) are only needed when live flows
+// contend for the pair's constraints. Pairs that share no links — or
+// hoses or memory buses — with any active flow are batched: their
+// shares are read directly off the cached constraint capacities, which
+// is exactly what progressive filling computes for a lone flow
+// (bestShare = capacity/1, an exact float identity), so results are
+// bit-identical to per-pair Availability calls. Contended pairs fall
+// back to the allocator probe unchanged.
+func (n *Network) BatchAvailability(pairs [][2]topology.VMID) ([]PathAvailability, error) {
+	// Slots held by the active set: a probe touching any of them needs
+	// the real allocator.
+	var busy map[int32]bool
+	if len(n.active) > 0 {
+		busy = make(map[int32]bool)
+		for _, f := range n.active {
+			for _, si := range f.slots {
+				busy[si] = true
+			}
+		}
+	}
+	out := make([]PathAvailability, len(pairs))
+	for i, pr := range pairs {
+		path, err := n.prov.Path(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		slots := n.slotsFor(n.constraintsFor(path))
+		contended := false
+		for _, si := range slots {
+			if busy[si] {
+				contended = true
+				break
+			}
+		}
+		if contended {
+			av, err := n.Availability(pr[0], pr[1])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = av
+			continue
+		}
+		if path.SameHost {
+			bus := n.slotCap[slots[0]] // the memory-bus constraint
+			out[i] = PathAvailability{
+				Share:         units.Rate(bus),
+				PhysicalShare: units.Rate(bus),
+				LineRate:      n.prov.Profile.MemBusRate,
+			}
+			continue
+		}
+		// Hose first, then physical links (constraintsFor's order).
+		share := math.Inf(1)
+		for _, si := range slots {
+			if c := n.slotCap[si]; c < share {
+				share = c
+			}
+		}
+		phys := math.Inf(1)
+		for _, si := range slots[1:] {
+			if c := n.slotCap[si]; c < phys {
+				phys = c
+			}
+		}
+		line := math.Inf(1)
+		for _, l := range path.Links {
+			if c := float64(n.prov.Topo.Links[l].Capacity); c < line {
+				line = c
+			}
+		}
+		out[i] = PathAvailability{
+			Share:         units.Rate(share),
+			PhysicalShare: units.Rate(phys),
+			LineRate:      units.Rate(line),
+		}
+	}
+	return out, nil
+}
+
 // RunUntil advances the simulation until pred() reports true or maxTime
 // is reached, evaluating pred after every event. It returns the time at
 // which it stopped.

@@ -444,3 +444,58 @@ func TestMaxMinAgainstAnalytic(t *testing.T) {
 		_ = f
 	}
 }
+
+// TestBatchAvailabilityMatchesPerPair pins the mesh-measurement fast
+// path's contract: BatchAvailability must return bit-identical values
+// to per-pair Availability calls — on an idle network (where every pair
+// takes the capacity-scan fast path) and under live traffic (where
+// contended pairs must fall back to the allocator probe).
+func TestBatchAvailabilityMatchesPerPair(t *testing.T) {
+	for _, loaded := range []bool{false, true} {
+		name := "idle"
+		if loaded {
+			name = "loaded"
+		}
+		t.Run(name, func(t *testing.T) {
+			prov, err := topology.NewProvider(topology.EC22013(), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vms, err := prov.AllocateVMs(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := New(prov)
+			if loaded {
+				// Live flows over a few pairs: their constraints force the
+				// allocator fallback for every train sharing them.
+				for _, pr := range [][2]int{{0, 1}, {2, 5}, {7, 3}} {
+					if _, err := net.StartFlow(vms[pr[0]].ID, vms[pr[1]].ID, Backlogged, "bg", nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			var pairs [][2]topology.VMID
+			for _, a := range vms {
+				for _, b := range vms {
+					if a.ID != b.ID {
+						pairs = append(pairs, [2]topology.VMID{a.ID, b.ID})
+					}
+				}
+			}
+			got, err := net.BatchAvailability(pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, pr := range pairs {
+				want, err := net.Availability(pr[0], pr[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i] != want {
+					t.Errorf("pair %v->%v: batch %+v != per-pair %+v", pr[0], pr[1], got[i], want)
+				}
+			}
+		})
+	}
+}

@@ -71,6 +71,11 @@ func (m *Medium) StateOf(src, dst topology.VMID) (PathState, error) {
 	if err != nil {
 		return PathState{}, err
 	}
+	return m.stateFrom(src, dst, av)
+}
+
+// stateFrom assembles a PathState from a precomputed availability.
+func (m *Medium) stateFrom(src, dst topology.VMID, av netsim.PathAvailability) (PathState, error) {
 	path, err := m.net.Provider().Path(src, dst)
 	if err != nil {
 		return PathState{}, err
@@ -89,6 +94,47 @@ func (m *Medium) StateOf(src, dst topology.VMID) (PathState, error) {
 		BurstJitter:    prof.BurstJitter,
 		SameHost:       path.SameHost,
 	}, nil
+}
+
+// StatesOf snapshots every ordered pair among vms in one pass, batching
+// the underlying availability computation: pairs whose constraints no
+// active flow touches — on the pristine pre-measurement cloud, all of
+// them — are read off cached capacities instead of running four
+// allocator probes each (see netsim.BatchAvailability). The returned
+// states are bit-identical to per-pair StateOf calls; trains still run
+// one at a time against them, so measured observations are unchanged.
+func (m *Medium) StatesOf(vms []topology.VM) (map[[2]topology.VMID]PathState, error) {
+	pairs := make([][2]topology.VMID, 0, len(vms)*(len(vms)-1))
+	for _, a := range vms {
+		for _, b := range vms {
+			if a.ID != b.ID {
+				pairs = append(pairs, [2]topology.VMID{a.ID, b.ID})
+			}
+		}
+	}
+	avs, err := m.net.BatchAvailability(pairs)
+	if err != nil {
+		return nil, err
+	}
+	states := make(map[[2]topology.VMID]PathState, len(pairs))
+	for i, pr := range pairs {
+		st, err := m.stateFrom(pr[0], pr[1], avs[i])
+		if err != nil {
+			return nil, err
+		}
+		states[pr] = st
+	}
+	return states, nil
+}
+
+// RunTrainOn runs one packet train over a previously snapshotted path
+// state, drawing measurement noise from the medium's rng exactly as
+// RunTrain would — the pairing for StatesOf in mesh measurement loops.
+func (m *Medium) RunTrainOn(state PathState, cfg probe.Config) (probe.Observation, error) {
+	if err := cfg.Validate(); err != nil {
+		return probe.Observation{}, err
+	}
+	return SimulateTrain(state, cfg, m.rng), nil
 }
 
 // RunTrain sends one packet train from src to dst and returns the
@@ -234,6 +280,10 @@ func SimulateTrain(state PathState, cfg probe.Config, rng *rand.Rand) probe.Obse
 // per-pair coordination overhead — the paper reports "under three minutes"
 // for 90 pairs including orchestration (§4.1).
 func (m *Medium) MeasureMesh(vms []topology.VM, cfg probe.Config, perPairOverhead time.Duration) (map[[2]topology.VMID]units.Rate, time.Duration, error) {
+	states, err := m.StatesOf(vms)
+	if err != nil {
+		return nil, 0, err
+	}
 	rates := make(map[[2]topology.VMID]units.Rate)
 	var elapsed time.Duration
 	for _, a := range vms {
@@ -241,7 +291,7 @@ func (m *Medium) MeasureMesh(vms []topology.VM, cfg probe.Config, perPairOverhea
 			if a.ID == b.ID {
 				continue
 			}
-			obs, err := m.RunTrain(a.ID, b.ID, cfg)
+			obs, err := m.RunTrainOn(states[[2]topology.VMID{a.ID, b.ID}], cfg)
 			if err != nil {
 				return nil, 0, fmt.Errorf("packetsim: train %d->%d: %w", a.ID, b.ID, err)
 			}

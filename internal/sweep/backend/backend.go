@@ -1,0 +1,82 @@
+// Package backend abstracts how a sweep cell's cloud is measured and how
+// a placement's completion time is obtained — the seam between the sweep
+// engine and the measurement plane.
+//
+// The paper's whole point (§3) is that Choreo measures a *real* cloud:
+// packet trains between live VMs, gathered by a coordinator. The sweep
+// engine grew up against the simulated cloud only; this package makes
+// the measurement plane pluggable:
+//
+//   - Sim (the default) builds a deterministic netsim cloud from the
+//     cell seed, measures it with simulated packet trains, and executes
+//     placements by actually transferring the profiled bytes on the
+//     simulated fabric — bit-identical to the engine's pre-backend
+//     behaviour, so golden reports are unchanged.
+//   - Live maps a cell's VM slots onto real choreo-agent addresses,
+//     drives a cluster.Coordinator through MeasureMesh (packet trains +
+//     RTT probes over real sockets), and assembles the placement
+//     environment from the observed rate matrix. Execution reports the
+//     paper's predicted completion-time objective on that measured
+//     environment — a live cloud has no replayable ground truth to
+//     simulate against.
+//
+// Both implementations feed the identical place.Environment shape into
+// the identical placement and report pipeline, so a simulated and a
+// live run of the same grid diff cleanly — the paper's sim-vs-real
+// comparison for free.
+package backend
+
+import (
+	"time"
+
+	"choreo/internal/place"
+	"choreo/internal/profile"
+	"choreo/internal/topology"
+)
+
+// Cell names the measurement target of one sweep cell: the grid's
+// topology coordinate, the allocation size, and the deterministic cell
+// seed every stream of cell randomness derives from.
+type Cell struct {
+	// Topology is the cell's topology name (a grid coordinate; the live
+	// backend uses it only for error messages).
+	Topology string
+	// Profile is the provider profile the sim backend builds the cloud
+	// from; ignored by live backends, whose cloud is the real mesh.
+	Profile topology.Profile
+	// VMs is the tenant allocation size: how many VM slots the cell
+	// places onto.
+	VMs int
+	// Seed is the deterministic cell seed (sweep.Scenario.cloudSeed).
+	Seed int64
+}
+
+// Backend measures a cell's cloud and executes placements on it.
+// Implementations must be safe for concurrent use by the sweep worker
+// pool.
+type Backend interface {
+	// Name identifies the backend in grid echoes, shard headers and
+	// error messages ("sim", "live").
+	Name() string
+
+	// Measure returns the cell's placement environment: the full-mesh
+	// rate matrix plus per-VM CPU capacity. The sweep's environment
+	// cache calls it once per cell group.
+	Measure(c Cell) (*place.Environment, error)
+
+	// Execute returns the completion time of placement p of app on the
+	// cell's cloud under env: simulated byte transfer for sim (§6.1's
+	// "actually transferring data"), the predicted completion-time
+	// objective for live. model is the grid's rate model.
+	Execute(c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error)
+
+	// MeshEpoch tags the backend's current measurement epoch. Sim
+	// measurements are pure functions of the cell and always report 0;
+	// live meshes drift, so live backends report a non-zero epoch that
+	// keys their cache entries — two epochs never share a measurement.
+	MeshEpoch() int64
+
+	// CheckCapacity reports whether the backend can measure cells of up
+	// to maxVMs slots (the live backend needs one agent per slot).
+	CheckCapacity(maxVMs int) error
+}

@@ -1,0 +1,74 @@
+package backend
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"choreo/internal/core"
+	"choreo/internal/netsim"
+	"choreo/internal/place"
+	"choreo/internal/profile"
+	"choreo/internal/topology"
+)
+
+// Sim is the simulated measurement backend: every cell gets a fresh
+// netsim cloud rebuilt from the deterministic cell seed, measured with
+// simulated packet trains and executed by draining the profiled bytes
+// through the flow-level simulator. Rebuilding from the same seed yields
+// a bit-identical cloud, which is what lets the environment cache reuse
+// one measurement across a cell group while every execution still gets a
+// pristine simulator.
+type Sim struct{}
+
+// NewSim returns the simulated backend.
+func NewSim() *Sim { return &Sim{} }
+
+// Name identifies the backend.
+func (s *Sim) Name() string { return "sim" }
+
+// MeshEpoch is always 0: simulated measurements are pure functions of
+// the cell, so entries are shareable wherever the cell keys agree.
+func (s *Sim) MeshEpoch() int64 { return 0 }
+
+// CheckCapacity always succeeds: the simulator allocates as many VMs as
+// the profile's hosts can carry, and per-cell allocation errors surface
+// from Measure with the cell's coordinates attached.
+func (s *Sim) CheckCapacity(maxVMs int) error { return nil }
+
+// orchestrator rebuilds the cell's simulated cloud: provider fabric, VM
+// allocation and orchestrator, all derived from the cell seed exactly as
+// the sweep engine always has (provider from seed, orchestrator rng from
+// seed+1, so the two streams never alias).
+func (s *Sim) orchestrator(c Cell) (*core.Choreo, error) {
+	prov, err := topology.NewProvider(c.Profile, c.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("backend: %s: %w", c.Topology, err)
+	}
+	vms, err := prov.AllocateVMs(c.VMs)
+	if err != nil {
+		return nil, fmt.Errorf("backend: %s: allocating %d VMs: %w", c.Topology, c.VMs, err)
+	}
+	return core.New(netsim.New(prov), vms, rand.New(rand.NewSource(c.Seed+1)), core.Options{})
+}
+
+// Measure builds the cell's cloud and runs the full-mesh packet-train
+// measurement on it.
+func (s *Sim) Measure(c Cell) (*place.Environment, error) {
+	orch, err := s.orchestrator(c)
+	if err != nil {
+		return nil, err
+	}
+	return orch.MeasureEnvironment()
+}
+
+// Execute runs the placement on a freshly rebuilt cloud — one flow per
+// task-pair transfer, simulated until the last byte drains. env and
+// model are unused: the simulator is its own ground truth.
+func (s *Sim) Execute(c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error) {
+	orch, err := s.orchestrator(c)
+	if err != nil {
+		return 0, err
+	}
+	return orch.Execute(app, p)
+}

@@ -54,6 +54,30 @@ type Key struct {
 	// differing only in re-evaluation share one entry.
 	Interarrival int64
 	SeqApps      int
+	// Backend and Epoch identify the measurement plane. Both are zero
+	// values for the simulated backend, whose measurements are pure
+	// functions of the key, so sim keys (and hence all pre-backend cache
+	// behaviour) are unchanged. Live backends set Backend to their name
+	// and Epoch to their mesh epoch: a real cloud drifts between
+	// measurements, so entries from different epochs — or from sim and
+	// live runs of the same coordinates — are never conflated.
+	Backend string
+	Epoch   int64
+}
+
+// MeasurementKey derives the key of the cell's cloud measurement — the
+// expensive packet-train half of a cell build. Simulated sequence cells
+// that differ only in their arrival process (interarrival, sequence
+// length) rebuild a bit-identical cloud, so their measurement is shared
+// by dropping those coordinates from the key. Live measurements are
+// never shared across cells: the real cloud drifts, so the full cell
+// key (epoch included) stays the measurement's identity.
+func (k Key) MeasurementKey() Key {
+	if k.Backend != "" {
+		return k
+	}
+	k.Interarrival, k.SeqApps = 0, 0
+	return k
 }
 
 // Cell is one built-and-measured scenario environment: the measured rate
@@ -105,11 +129,19 @@ func (c *Cell) OptimalReference(compute func() (float64, bool, error)) (float64,
 // worked when Misses == U and Hits == S - U. Resident is the number of
 // entries still cached when the snapshot was taken: a finished
 // refcounted run must report zero, so a non-zero value means the use
-// plan over-counted and pinned memory.
+// plan over-counted and pinned memory. The Measurement counters track
+// the measurement sub-layer (GetMeasurement): MeasurementMisses is the
+// number of clouds actually measured, and a sequence sweep whose cells
+// differ only in arrival process proves the sharing worked when it is
+// smaller than the cell-level Misses.
 type Stats struct {
 	Hits     int64 `json:"hits"`
 	Misses   int64 `json:"misses"`
 	Resident int   `json:"resident"`
+
+	MeasurementHits     int64 `json:"measurementHits,omitempty"`
+	MeasurementMisses   int64 `json:"measurementMisses,omitempty"`
+	MeasurementResident int   `json:"measurementResident,omitempty"`
 }
 
 // entry is one cached cell with its build-once latch and remaining-use
@@ -117,6 +149,16 @@ type Stats struct {
 type entry struct {
 	once      sync.Once
 	cell      *Cell
+	err       error
+	remaining int
+}
+
+// measEntry is one cached cloud measurement with its build-once latch
+// and remaining-use count — the measurement sub-layer's analogue of
+// entry.
+type measEntry struct {
+	once      sync.Once
+	env       *place.Environment
 	err       error
 	remaining int
 }
@@ -129,6 +171,15 @@ type Cache struct {
 	planned map[Key]int
 	hits    atomic.Int64
 	misses  atomic.Int64
+
+	// Measurement sub-layer: the per-cloud measurement half of a cell
+	// build, shared across cell keys whose MeasurementKey agrees (see
+	// Key.MeasurementKey). Populated only when PlanMeasurements declared
+	// a plan; unplanned measurement keys build on every fetch.
+	measEntries map[Key]*measEntry
+	measPlanned map[Key]int
+	measHits    atomic.Int64
+	measMisses  atomic.Int64
 }
 
 // New returns a cache expecting every key to be fetched usesPerKey times;
@@ -200,14 +251,78 @@ func (c *Cache) Get(key Key, build func() (*Cell, error)) (*Cell, error) {
 	return e.cell, e.err
 }
 
+// PlanMeasurements declares the measurement sub-layer's per-key use
+// plan: measurement key k will be fetched uses[k] times (once per
+// distinct cell key sharing it that this run actually builds), and its
+// last fetch evicts the entry. Call before the first GetMeasurement;
+// with no plan, every fetch builds. Safe (a no-op) on a nil cache.
+func (c *Cache) PlanMeasurements(uses map[Key]int) {
+	if c == nil || len(uses) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.measEntries = make(map[Key]*measEntry)
+	c.measPlanned = make(map[Key]int, len(uses))
+	for k, n := range uses {
+		c.measPlanned[k] = n
+	}
+}
+
+// GetMeasurement returns the cloud measurement for key (derive it with
+// Key.MeasurementKey), building it with build on first request. Cell
+// builders call it from inside their Get build function, so the N cell
+// keys sharing one measurement key measure the cloud exactly once.
+// Consumers must treat the returned environment as immutable — mutating
+// runs take a Clone (see Cell.CloneEnv). A nil *Cache, or a cache with
+// no measurement plan for key, builds every time.
+func (c *Cache) GetMeasurement(key Key, build func() (*place.Environment, error)) (*place.Environment, error) {
+	if c == nil {
+		return build()
+	}
+	c.mu.Lock()
+	if c.measPlanned[key] == 0 {
+		c.mu.Unlock()
+		c.measMisses.Add(1)
+		return build()
+	}
+	e, ok := c.measEntries[key]
+	if !ok {
+		e = &measEntry{remaining: c.measPlanned[key]}
+		c.measEntries[key] = e
+		c.measMisses.Add(1)
+	} else {
+		c.measHits.Add(1)
+	}
+	e.remaining--
+	if e.remaining <= 0 {
+		delete(c.measEntries, key)
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.env, e.err = build()
+	})
+	return e.env, e.err
+}
+
 // Stats returns the cumulative hit/miss counters (they survive eviction)
-// plus a snapshot of the resident entry count. Safe on a nil cache,
-// which reports zeros.
+// plus a snapshot of the resident entry counts, for both the cell layer
+// and the measurement sub-layer. Safe on a nil cache, which reports
+// zeros.
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Resident: c.Len()}
+	c.mu.Lock()
+	measResident := len(c.measEntries)
+	c.mu.Unlock()
+	return Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Resident: c.Len(),
+		MeasurementHits:     c.measHits.Load(),
+		MeasurementMisses:   c.measMisses.Load(),
+		MeasurementResident: measResident,
+	}
 }
 
 // Len reports the number of currently resident entries (for tests: with

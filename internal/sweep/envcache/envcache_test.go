@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"choreo/internal/place"
 )
 
 func key(seed int64) Key {
@@ -209,5 +211,107 @@ func TestOptimalReferenceMemoized(t *testing.T) {
 	}
 	if computes.Load() != 1 {
 		t.Errorf("reference computed %d times, want 1", computes.Load())
+	}
+}
+
+// TestMeasurementKeyStripsArrivalProcess pins which coordinates the
+// measurement sub-key drops: sim cells differing only in arrival
+// process share one measured cloud, everything else stays distinct.
+func TestMeasurementKeyStripsArrivalProcess(t *testing.T) {
+	a := Key{Topology: "t", Workload: "w", CloudSeed: 9, VMs: 4, Interarrival: 5, SeqApps: 8}
+	b := a
+	b.Interarrival, b.SeqApps = 30, 12
+	if a.MeasurementKey() != b.MeasurementKey() {
+		t.Error("cells differing only in arrival process do not share a measurement key")
+	}
+	c := a
+	c.CloudSeed = 10
+	if a.MeasurementKey() == c.MeasurementKey() {
+		t.Error("cells with different clouds share a measurement key")
+	}
+}
+
+// TestGetMeasurementSharesAndEvicts drives the measurement sub-layer
+// the way two sequence cell builds would: one build for the shared
+// cloud, eviction after the planned last fetch, and build-every-time
+// for unplanned keys and the nil cache.
+func TestGetMeasurementSharesAndEvicts(t *testing.T) {
+	cellA := Key{Topology: "t", CloudSeed: 1, Interarrival: 5, SeqApps: 4}
+	cellB := Key{Topology: "t", CloudSeed: 1, Interarrival: 9, SeqApps: 4}
+	mk := cellA.MeasurementKey()
+	if mk != cellB.MeasurementKey() {
+		t.Fatal("test cells must share a measurement key")
+	}
+
+	c := NewPlanned(map[Key]int{cellA: 2, cellB: 2})
+	c.PlanMeasurements(map[Key]int{mk: 2})
+	builds := 0
+	build := func() (*place.Environment, error) {
+		builds++
+		return &place.Environment{CPUCap: []float64{4}}, nil
+	}
+	envA, err := c.GetMeasurement(mk, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB, err := c.GetMeasurement(mk, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Errorf("built %d measurements, want 1", builds)
+	}
+	if envA != envB {
+		t.Error("second fetch did not return the shared environment")
+	}
+	s := c.Stats()
+	if s.MeasurementMisses != 1 || s.MeasurementHits != 1 {
+		t.Errorf("measurement misses/hits = %d/%d, want 1/1", s.MeasurementMisses, s.MeasurementHits)
+	}
+	if s.MeasurementResident != 0 {
+		t.Errorf("measurement entries resident after last planned fetch = %d, want 0", s.MeasurementResident)
+	}
+
+	// Unplanned key: builds every time, counted as misses.
+	other := Key{Topology: "other"}
+	if _, err := c.GetMeasurement(other, build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetMeasurement(other, build); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 3 {
+		t.Errorf("unplanned key built %d times total, want 3", builds)
+	}
+
+	// Nil cache: always builds.
+	var nilCache *Cache
+	if _, err := nilCache.GetMeasurement(mk, build); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 4 {
+		t.Errorf("nil cache built %d times total, want 4", builds)
+	}
+}
+
+// TestGetMeasurementSharesErrors checks a failed measurement build is
+// shared with every waiter of the entry, like cell builds.
+func TestGetMeasurementSharesErrors(t *testing.T) {
+	k := Key{Topology: "t"}
+	c := New(0)
+	c.PlanMeasurements(map[Key]int{k: 2})
+	boom := errors.New("measurement failed")
+	builds := 0
+	for i := 0; i < 2; i++ {
+		_, err := c.GetMeasurement(k, func() (*place.Environment, error) {
+			builds++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("fetch %d: err = %v, want the build error", i, err)
+		}
+	}
+	if builds != 1 {
+		t.Errorf("failed build ran %d times, want 1 (error shared)", builds)
 	}
 }

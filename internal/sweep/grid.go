@@ -19,6 +19,7 @@ import (
 
 	"choreo/internal/core"
 	"choreo/internal/place"
+	"choreo/internal/sweep/backend"
 	"choreo/internal/topology"
 	"choreo/internal/units"
 	"choreo/internal/workload"
@@ -254,6 +255,16 @@ type Grid struct {
 	// default 3).
 	MaxMigrations int
 
+	// Backend selects the measurement plane: nil (or backend.NewSim())
+	// measures and executes cells on the deterministic netsim cloud;
+	// backend.NewLive measures real choreo-agent meshes and evaluates
+	// placements by their predicted completion time on the observed
+	// rates. Live grids are snapshot-only and their reports carry the
+	// backend name in the grid echo, so sim and live runs of the same
+	// grid diff cleanly but can never be merged or resumed into each
+	// other.
+	Backend backend.Backend
+
 	// OptimalMaxTasks bounds the slowdown-vs-optimal reference: the
 	// exact branch-and-bound optimum is computed only for applications
 	// of at most this many tasks (0 disables the reference entirely).
@@ -444,8 +455,31 @@ func (g *Grid) Validate() error {
 		}
 		seenSize[size] = true
 	}
-	return g.validateMode()
+	if err := g.validateMode(); err != nil {
+		return err
+	}
+	// Capacity last: "sequence mode is sim-only" is the real problem on
+	// a sequence grid, not the fleet size.
+	maxVMs := 0
+	for _, vms := range g.VMCounts {
+		if vms > maxVMs {
+			maxVMs = vms
+		}
+	}
+	return g.backend().CheckCapacity(maxVMs)
 }
+
+// backend returns the grid's measurement backend, defaulting to the
+// simulator.
+func (g *Grid) backend() backend.Backend {
+	if g.Backend == nil {
+		return backend.NewSim()
+	}
+	return g.Backend
+}
+
+// backendName names the grid's backend ("sim" when unset).
+func (g *Grid) backendName() string { return g.backend().Name() }
 
 // validateMode checks the mode-specific dimensions: sequence grids need
 // runnable sequence dimensions and only sequence-capable workloads and
@@ -464,6 +498,9 @@ func (g *Grid) validateMode() error {
 	}
 	if g.Mode != Sequence {
 		return fmt.Errorf("sweep: unknown mode %v", g.Mode)
+	}
+	if name := g.backendName(); name != "sim" {
+		return fmt.Errorf("sweep: sequence mode is sim-only: the %s backend measures a real mesh, and in-sequence execution (arrivals, cross traffic, migration) needs the simulator", name)
 	}
 	seenInter := map[time.Duration]bool{}
 	for _, ia := range g.Interarrivals {

@@ -69,7 +69,13 @@ type GridSummary struct {
 	// snapshot grids, whose echoes stay byte-identical to what they
 	// were before sequence mode existed (resume and merge compare them
 	// verbatim).
-	Mode       string   `json:"mode,omitempty"`
+	Mode string `json:"mode,omitempty"`
+	// Backend names the measurement plane for non-sim grids ("live");
+	// absent for simulated grids, whose echoes (and hence grid hashes
+	// and golden reports) are unchanged. Because resume and merge
+	// compare echoes verbatim, a sim report can never be completed by —
+	// or spliced with — a live one.
+	Backend    string   `json:"backend,omitempty"`
 	Topologies []string `json:"topologies"`
 	Workloads  []string `json:"workloads"`
 	Algorithms []string `json:"algorithms"`
@@ -133,6 +139,9 @@ func (g *Grid) summary(scenarios int) GridSummary {
 		sum.Workloads = append(sum.Workloads, w.Name)
 	}
 	sum.Algorithms = g.algorithmNames()
+	if name := g.backendName(); name != "sim" {
+		sum.Backend = name
+	}
 	if g.Mode == Sequence {
 		sum.Mode = Sequence.String()
 		for _, ia := range g.Interarrivals {

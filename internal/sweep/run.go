@@ -13,6 +13,7 @@ import (
 	"choreo/internal/netsim"
 	"choreo/internal/place"
 	"choreo/internal/profile"
+	"choreo/internal/sweep/backend"
 	"choreo/internal/sweep/envcache"
 	"choreo/internal/sweep/sequence"
 	"choreo/internal/topology"
@@ -83,8 +84,13 @@ type Result struct {
 // cell group (they differ only in algorithm), which is the unit the
 // shard planner strides across machines. Call after Expand, which fills
 // the defaulted knobs the key covers.
+//
+// Non-sim backends also stamp their name and mesh epoch into the key:
+// a live measurement belongs to the mesh at the moment it was taken,
+// so entries from different backends or epochs never alias. Sim keys
+// carry the zero values and are unchanged.
 func (g *Grid) CellKey(sc Scenario) envcache.Key {
-	return envcache.Key{
+	key := envcache.Key{
 		Topology:     sc.Topology.Name,
 		Workload:     sc.Workload.Name,
 		CloudSeed:    sc.cloudSeed(),
@@ -96,13 +102,29 @@ func (g *Grid) CellKey(sc Scenario) envcache.Key {
 		Interarrival: int64(sc.Interarrival),
 		SeqApps:      sc.SeqApps,
 	}
+	if b := g.backend(); b.Name() != "sim" {
+		key.Backend = b.Name()
+		key.Epoch = b.MeshEpoch()
+	}
+	return key
+}
+
+// backendCell names the scenario's measurement target for the backend.
+func (g *Grid) backendCell(sc Scenario) backend.Cell {
+	return backend.Cell{
+		Topology: sc.Topology.Name,
+		Profile:  sc.Topology.Profile,
+		VMs:      sc.VMs,
+		Seed:     sc.cloudSeed(),
+	}
 }
 
 // newOrchestrator builds a fresh simulated cloud from the deterministic
 // cell seed: provider fabric, VM allocation and orchestrator. Rebuilding
 // from the same seed yields a bit-identical cloud, which is what lets
 // the cached measurement be reused while every execution still gets a
-// pristine simulator.
+// pristine simulator. Sequence cells (which are sim-only) run on it
+// directly; snapshot cells measure and execute through the backend.
 func (g *Grid) newOrchestrator(sc Scenario, seed int64) (*core.Choreo, error) {
 	prov, err := topology.NewProvider(sc.Topology.Profile, seed)
 	if err != nil {
@@ -115,21 +137,18 @@ func (g *Grid) newOrchestrator(sc Scenario, seed int64) (*core.Choreo, error) {
 	return core.New(netsim.New(prov), vms, rand.New(rand.NewSource(seed+1)), core.Options{Model: g.Model})
 }
 
-// buildCell constructs and measures the scenario's environment: a fresh
-// cloud, its packet-train rate matrix, and the application to place.
-// This is the expensive, cacheable half of a scenario — every algorithm
-// of a cell group (and the optimal reference) shares its output.
+// buildCell constructs and measures the scenario's environment: the
+// backend's measured rate matrix for the cell's cloud, and the
+// application to place. This is the expensive, cacheable half of a
+// scenario — every algorithm of a cell group (and the optimal
+// reference) shares its output.
 func (g *Grid) buildCell(sc Scenario) (*envcache.Cell, error) {
 	seed := sc.cloudSeed()
 	app, err := g.buildApplication(sc, seed)
 	if err != nil {
 		return nil, err
 	}
-	orch, err := g.newOrchestrator(sc, seed)
-	if err != nil {
-		return nil, err
-	}
-	env, err := orch.MeasureEnvironment()
+	env, err := g.backend().Measure(g.backendCell(sc))
 	if err != nil {
 		return nil, fmt.Errorf("sweep: measuring %s: %w", sc.Topology.Name, err)
 	}
@@ -179,9 +198,13 @@ func (g *Grid) buildApplication(sc Scenario, seed int64) (*profile.Application, 
 }
 
 // place runs the scenario's placement policy against the measured cell.
-func (g *Grid) place(sc Scenario, cell *envcache.Cell, exec *core.Choreo) (place.Placement, error) {
+// rng drives the Random baseline; it is freshly seeded from the cell
+// seed (offset +1, the stream the orchestrator's rng always used) so
+// placements are identical across backends, worker counts and cache
+// states.
+func (g *Grid) place(sc Scenario, cell *envcache.Cell, rng *rand.Rand) (place.Placement, error) {
 	if !sc.Algorithm.ILP {
-		return exec.Place(cell.App, cell.Env, sc.Algorithm.Core)
+		return core.PlaceWith(cell.App, cell.Env, sc.Algorithm.Core, g.Model, rng)
 	}
 	in, err := placementInput(cell.App, cell.Env)
 	if err != nil {
@@ -248,12 +271,14 @@ func (g *Grid) sequenceParams(sc Scenario) sequence.Params {
 // entry, because sequence runs re-measure mid-flight.
 //
 // Cells differing only in interarrival or sequence length rebuild a
-// bit-identical cloud and measurement (cloudSeed excludes those
-// coordinates, but the cache Key cannot: the generated sequences
-// differ). Splitting the entry into a per-cloud measurement and a
-// per-arrival-process sequence would deduplicate that work; it is not
-// worth a second cache layer while build-and-measure stays this cheap.
-func (g *Grid) buildSequenceCell(sc Scenario) (*envcache.Cell, error) {
+// bit-identical cloud (cloudSeed excludes those coordinates) but
+// generate different arrival sequences, so the cache entry is split:
+// the cloud measurement is fetched through the cache's measurement
+// sub-layer under Key.MeasurementKey, which those cells share, while
+// the generated sequence stays per-cell. A bit-identical cloud is
+// therefore never re-measured, and the shared Environment is never
+// mutated (runs clone it).
+func (g *Grid) buildSequenceCell(sc Scenario, cache *envcache.Cache) (*envcache.Cell, error) {
 	seed := sc.cloudSeed()
 	cfg := workload.Config{
 		MinTasks:  g.MinTasks,
@@ -268,13 +293,19 @@ func (g *Grid) buildSequenceCell(sc Scenario) (*envcache.Cell, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: generating %s sequence: %w", sc.Workload.Name, err)
 	}
-	orch, err := g.newOrchestrator(sc, seed)
+	env, err := cache.GetMeasurement(g.CellKey(sc).MeasurementKey(), func() (*place.Environment, error) {
+		orch, err := g.newOrchestrator(sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		env, err := orch.MeasureEnvironment()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: measuring %s: %w", sc.Topology.Name, err)
+		}
+		return env, nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	env, err := orch.MeasureEnvironment()
-	if err != nil {
-		return nil, fmt.Errorf("sweep: measuring %s: %w", sc.Topology.Name, err)
 	}
 	return &envcache.Cell{Env: env, Seq: seq}, nil
 }
@@ -287,7 +318,7 @@ func (g *Grid) buildSequenceCell(sc Scenario) (*envcache.Cell, error) {
 // gain. There is no optimal reference: the §6.3 comparison is
 // total running time across algorithms, not slowdown vs. an optimum.
 func (g *Grid) runSequenceScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
-	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildSequenceCell(sc) })
+	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildSequenceCell(sc, cache) })
 	if err != nil {
 		return Result{}, err
 	}
@@ -323,11 +354,12 @@ func (g *Grid) runSequenceScenario(sc Scenario, cache *envcache.Cache) (Result, 
 }
 
 // runScenario executes one grid cell end to end: fetch (or build) the
-// measured environment, place with the scenario's algorithm, execute the
-// placement on a freshly rebuilt cloud, and attach the slowdown-vs-
+// backend-measured environment, place with the scenario's algorithm,
+// execute the placement through the backend (simulated byte transfer on
+// sim, predicted completion on live), and attach the slowdown-vs-
 // optimal reference. Sequence cells dispatch to runSequenceScenario
-// instead. A nil cache builds every cell from scratch; either way the
-// result bytes are identical.
+// instead. A nil cache builds every cell from scratch; for the sim
+// backend the result bytes are identical either way.
 func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
 	if g.Mode == Sequence {
 		return g.runSequenceScenario(sc, cache)
@@ -336,18 +368,15 @@ func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	exec, err := g.newOrchestrator(sc, sc.cloudSeed())
-	if err != nil {
-		return Result{}, err
-	}
+	rng := rand.New(rand.NewSource(sc.cloudSeed() + 1))
 	start := time.Now()
-	p, err := g.place(sc, cell, exec)
+	p, err := g.place(sc, cell, rng)
 	latency := time.Since(start)
 	if err != nil {
 		return Result{}, fmt.Errorf("sweep: placing %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
 	}
-	completion, err := exec.Execute(cell.App, p)
+	completion, err := g.backend().Execute(g.backendCell(sc), cell.App, cell.Env, p, g.Model)
 	if err != nil {
 		return Result{}, fmt.Errorf("sweep: executing %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
@@ -401,14 +430,14 @@ func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
 
 // computeReference computes the completion time of the exact optimum —
 // the placement minimizing the paper's *predicted* completion-time
-// objective — executed on a cloud rebuilt from the same seed, so every
-// algorithm in a cell group is compared against the identical reference.
-// (Because the reference optimizes the prediction, a heuristic can
-// occasionally execute faster than it; slowdowns slightly below 1 are
-// genuine.) The second return reports whether a reference was computed
-// at all (branch and bound can exhaust its node budget). The value is a
-// pure function of the cell, which is what lets Cell.OptimalReference
-// memoize it across the cell group.
+// objective — executed through the backend on the identical cloud, so
+// every algorithm in a cell group is compared against the identical
+// reference. (Because the reference optimizes the prediction, a
+// heuristic can occasionally execute faster than it on the simulator;
+// slowdowns slightly below 1 are genuine.) The second return reports
+// whether a reference was computed at all (branch and bound can exhaust
+// its node budget). The value is a pure function of the cell, which is
+// what lets Cell.OptimalReference memoize it across the cell group.
 func (g *Grid) computeReference(sc Scenario, cell *envcache.Cell) (float64, bool, error) {
 	p, err := place.Optimal(cell.App, cell.Env, g.Model, g.OptimalMaxNodes)
 	if errors.Is(err, place.ErrSearchBudget) {
@@ -419,11 +448,7 @@ func (g *Grid) computeReference(sc Scenario, cell *envcache.Cell) (float64, bool
 	if err != nil {
 		return 0, false, err
 	}
-	ref, err := g.newOrchestrator(sc, sc.cloudSeed())
-	if err != nil {
-		return 0, false, err
-	}
-	completion, err := ref.Execute(cell.App, p)
+	completion, err := g.backend().Execute(g.backendCell(sc), cell.App, cell.Env, p, g.Model)
 	if err != nil {
 		return 0, false, err
 	}
@@ -468,6 +493,14 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.NoCache && g.backendName() != "sim" {
+		// Without the cache every scenario rebuilds its cell, which on a
+		// live backend means one full mesh measurement per *algorithm* —
+		// N× the measurement traffic, and the algorithms of a cell group
+		// would be compared against different (drifted) mesh snapshots,
+		// invalidating the per-cell comparison the report implies.
+		return nil, fmt.Errorf("sweep: disabling the environment cache is sim-only: the %s backend must measure each cell's mesh exactly once so every algorithm faces the same snapshot", g.backendName())
+	}
 	// included: the expansion indices this run covers, in order (a shard
 	// slice, or the whole grid). toRun drops the prefilled ones — only
 	// those execute; prefilled results replay through the same ordered
@@ -493,6 +526,17 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 		// leave those entries pinned. The last planned fetch evicts, so
 		// resident entries track the in-flight set.
 		cache = envcache.NewPlanned(counts)
+		if g.Mode == Sequence {
+			// Measurement sub-layer plan: each cell key built this run
+			// fetches its cloud measurement exactly once, so a measurement
+			// key's budget is the number of distinct cell keys sharing it —
+			// cells differing only in arrival process measure one cloud.
+			measCounts := make(map[envcache.Key]int)
+			for k := range counts {
+				measCounts[k.MeasurementKey()]++
+			}
+			cache.PlanMeasurements(measCounts)
+		}
 	}
 
 	agg := NewAggregator(g.algorithmNames(), g.Timing)
@@ -572,10 +616,12 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 		return nil, fmt.Errorf("sweep: emitting results: %w", emitErr)
 	}
 	stats := cache.Stats()
-	if stats.Resident != 0 {
-		// The per-key plan above makes the last fetch of every cell evict
-		// it; anything left resident means the accounting over-counted.
-		return nil, fmt.Errorf("sweep: internal: %d environment-cache entries left pinned after the run", stats.Resident)
+	if stats.Resident != 0 || stats.MeasurementResident != 0 {
+		// The per-key plans above make the last fetch of every cell (and
+		// of every shared measurement) evict it; anything left resident
+		// means the accounting over-counted.
+		return nil, fmt.Errorf("sweep: internal: %d environment-cache entries and %d measurements left pinned after the run",
+			stats.Resident, stats.MeasurementResident)
 	}
 	aggs, err := agg.Aggregates()
 	if err != nil {

@@ -165,6 +165,15 @@ func TestSequenceResultShape(t *testing.T) {
 	if rep.Cache.Hits != 6 {
 		t.Errorf("cache hits = %d, want 6", rep.Cache.Hits)
 	}
+	// The 2 cells differ only in interarrival, so they rebuild a
+	// bit-identical cloud — which the measurement sub-layer measures
+	// exactly once and shares.
+	if rep.Cache.MeasurementMisses != 1 {
+		t.Errorf("measured %d clouds, want 1 (cells differing only in interarrival share the measurement)", rep.Cache.MeasurementMisses)
+	}
+	if rep.Cache.MeasurementHits != 1 {
+		t.Errorf("measurement hits = %d, want 1", rep.Cache.MeasurementHits)
+	}
 	// Migration counts aggregate per algorithm for sequence grids.
 	for _, a := range rep.Algorithms {
 		if a.Migrations == nil {

@@ -110,6 +110,10 @@ func ReadShard(name string, r io.Reader) (*Shard, error) {
 	if hash != sh.Header.GridHash {
 		return nil, fmt.Errorf("%s: recorded grid hash %s does not match the file's own grid echo (%s) — spliced from different sweeps?", name, sh.Header.GridHash, hash)
 	}
+	if sh.Header.Backend != sh.Grid.Backend {
+		return nil, fmt.Errorf("%s: shard header claims the %s backend but the grid echo says %s — spliced from different sweeps?",
+			name, backendLabel(sh.Header.Backend), backendLabel(sh.Grid.Backend))
+	}
 	if sh.Header.Scenarios != len(sh.results) {
 		return nil, fmt.Errorf("%s: shard header plans %d scenarios but the file has %d result lines", name, sh.Header.Scenarios, len(sh.results))
 	}
@@ -135,6 +139,13 @@ func Merge(w io.Writer, shards []*Shard) (*sweep.Summary, error) {
 	base := shards[0]
 	byIndex := make(map[int]*Shard, len(shards))
 	for _, sh := range shards {
+		if sh.Grid.Backend != base.Grid.Backend {
+			// The backend is part of the grid echo, so the hash check below
+			// would also fire — but "you are splicing a simulated sweep with
+			// a live one" deserves its own message.
+			return nil, fmt.Errorf("shard: measurement backend mismatch: %s was measured by the %s backend, %s by %s — simulated and live sweeps cannot be spliced",
+				base.Name, backendLabel(base.Grid.Backend), sh.Name, backendLabel(sh.Grid.Backend))
+		}
 		if sh.Header.GridHash != base.Header.GridHash {
 			return nil, fmt.Errorf("shard: grid hash mismatch: %s has %s, %s has %s — shards of different sweeps",
 				base.Name, base.Header.GridHash, sh.Name, sh.Header.GridHash)

@@ -191,12 +191,25 @@ func HashSummary(s sweep.GridSummary) (string, error) {
 }
 
 // headerLine is the shard's self-description, the second line of every
-// shard file.
+// shard file. Backend echoes the grid's measurement backend (absent for
+// sim, matching the grid echo), so a merger can refuse to splice
+// simulated and live shards with a precise error even before comparing
+// the full echoes.
 type headerLine struct {
 	Index     int    `json:"index"`
 	Count     int    `json:"count"`
 	GridHash  string `json:"gridHash"`
+	Backend   string `json:"backend,omitempty"`
 	Scenarios int    `json:"scenarios"`
+}
+
+// backendLabel names a grid echo's measurement backend, spelling the
+// implicit default out for error messages.
+func backendLabel(name string) string {
+	if name == "" {
+		return "sim"
+	}
+	return name
 }
 
 // footerLine marks a shard file as complete; a shard without it is

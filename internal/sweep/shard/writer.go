@@ -42,7 +42,7 @@ func NewWriter(w io.Writer, grid sweep.GridSummary, spec Spec, scenarios int) (*
 	}
 	err = sw.WriteLine(struct {
 		Shard headerLine `json:"shard"`
-	}{headerLine{Index: spec.Index, Count: spec.Count, GridHash: hash, Scenarios: scenarios}})
+	}{headerLine{Index: spec.Index, Count: spec.Count, GridHash: hash, Backend: grid.Backend, Scenarios: scenarios}})
 	if err != nil {
 		return nil, err
 	}
