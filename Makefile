@@ -4,7 +4,7 @@
 GO  ?= go
 BIN ?= bin
 
-.PHONY: all build test bench lint sweep-smoke sweep-shard-smoke sweep-seq-smoke sweep-live-smoke golden clean
+.PHONY: all build test bench lint sweep-smoke sweep-shard-smoke sweep-seq-smoke sweep-live-smoke serve-smoke serve-load golden clean
 
 all: build
 
@@ -115,6 +115,52 @@ sweep-live-smoke: build
 	$(BIN)/choreo sweep $(LIVE_FLAGS) -stream -resume $(BIN)/live-run1.jsonl -out $(BIN)/live-replay.jsonl; \
 	cmp $(BIN)/live-run1.jsonl $(BIN)/live-replay.jsonl
 	@echo "live-mesh sweep output is schema-stable across runs and replays byte-identically through -resume"
+
+# The placement-service acceptance check (sim backend): start the
+# server, place the same application twice through the versioned client,
+# and require the two responses byte-identical — the epoch is pinned
+# (-interval 1h) and greedy placement is deterministic, so any
+# difference is a schema or determinism regression. The health endpoint
+# must agree on backend and epoch.
+serve-smoke: build
+	@set -e; \
+	printf '{"name":"smoke","cpu":[1,1,1,1],"transfersMB":[[0,2,200],[0,3,200],[1,2,200],[1,3,200]]}' \
+		> $(BIN)/serve-app.json; \
+	$(BIN)/choreo serve -backend sim -vms 8 -interval 1h -listen 127.0.0.1:17180 & srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	$(BIN)/choreo place -server http://127.0.0.1:17180 -app $(BIN)/serve-app.json \
+		> $(BIN)/serve-place1.json; \
+	$(BIN)/choreo place -server http://127.0.0.1:17180 -app $(BIN)/serve-app.json \
+		> $(BIN)/serve-place2.json; \
+	cmp $(BIN)/serve-place1.json $(BIN)/serve-place2.json; \
+	grep -q '"v": 1' $(BIN)/serve-place1.json; \
+	grep -q '"epoch": 1' $(BIN)/serve-place1.json; \
+	grep -q '"envHash"' $(BIN)/serve-place1.json; \
+	curl -sf http://127.0.0.1:17180/v1/health | grep -q '"backend":"sim"'
+	@echo "placement service responses are schema-stable and byte-identical on a pinned epoch"
+
+# The placement-service load check (live backend): a loopback fleet of
+# real agents behind a server re-measuring every 2s, hammered by 6
+# concurrent clients for 8s. `choreo load` exits non-zero on any request
+# error, on a torn snapshot, or if responses did not span >= 2
+# measurement epochs — i.e. it proves placements proceed, lock-free,
+# while mesh re-measurement churns underneath.
+SERVE_AGENTS = 127.0.0.1:17144,127.0.0.1:17145,127.0.0.1:17146
+
+serve-load: build
+	@set -e; \
+	$(BIN)/choreo-agent -listen 127.0.0.1:17144 & a1=$$!; \
+	$(BIN)/choreo-agent -listen 127.0.0.1:17145 & a2=$$!; \
+	$(BIN)/choreo-agent -listen 127.0.0.1:17146 & a3=$$!; \
+	trap 'kill $$a1 $$a2 $$a3 $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	$(BIN)/choreo agents health -agents $(SERVE_AGENTS); \
+	$(BIN)/choreo serve -backend live -agents $(SERVE_AGENTS) -interval 2s \
+		-bursts 2 -burstlen 20 -packet 512 -listen 127.0.0.1:17181 & srv=$$!; \
+	sleep 3; \
+	$(BIN)/choreo load -server http://127.0.0.1:17181 -clients 6 -duration 8s -min-epochs 2
+	@echo "concurrent placements sustained across live re-measurement epochs"
 
 # Regenerate the sweep engine's golden report after an intended grid or
 # engine change, then re-run the test to prove the new golden holds.

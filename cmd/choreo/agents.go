@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"choreo/internal/cluster"
+)
+
+// runAgents dispatches the agent-fleet management subcommands; today
+// that is `choreo agents health`, the preflight an operator runs before
+// committing a sweep or a server to a fleet.
+func runAgents(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: choreo agents health -agents host1:7101,host2:7101[,...]")
+	}
+	switch args[0] {
+	case "health":
+		return runAgentsHealth(args[1:])
+	}
+	return fmt.Errorf("unknown agents subcommand %q (health)", args[0])
+}
+
+// runAgentsHealth preflights every agent: dial, protocol handshake
+// (catching version-mismatched agents with the precise "speaks vN, need
+// vM" error) and an RTT probe of the echo responder. It prints one line
+// per agent and exits non-zero if any agent is sick — wire it before a
+// long sweep and the sweep never dies an hour in on a dead agent.
+func runAgentsHealth(args []string) error {
+	fs := flag.NewFlagSet("agents health", flag.ExitOnError)
+	fleet := registerFleetFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("agents health: unexpected arguments %q", fs.Args())
+	}
+	addrs, err := fleet.addrs(1)
+	if err != nil {
+		return err
+	}
+	coord := cluster.NewCoordinator(addrs, *fleet.agentTimeout)
+	results, healthy := coord.CheckFleet(context.Background())
+	for _, h := range results {
+		if h.OK() {
+			fmt.Printf("agent %2d %-24s ok    rtt=%s\n", h.Index, h.Addr, h.RTT)
+		} else {
+			fmt.Printf("agent %2d %-24s FAIL  %v\n", h.Index, h.Addr, h.Err)
+		}
+	}
+	if healthy < len(addrs) {
+		return fmt.Errorf("%d of %d agents unhealthy", len(addrs)-healthy, len(addrs))
+	}
+	fmt.Fprintf(os.Stderr, "all %d agents healthy\n", len(addrs))
+	return nil
+}

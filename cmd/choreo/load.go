@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"choreo/internal/api"
+)
+
+// runLoad is the placement-service load harness: -clients concurrent
+// clients hammer POST /v1/place against a running `choreo serve` for
+// -duration and report sustained placements/sec. It fails (non-zero
+// exit) on any request error, on a torn snapshot (two responses with
+// the same epoch but different environment hashes), or — with
+// -min-epochs — if the run did not ride across enough re-measurement
+// epochs to prove that placements proceed while the mesh refreshes.
+// Quota rejections (429) are counted separately and are not errors:
+// pushing a quota-limited server past its limit is a legitimate load
+// test.
+func runLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	server := fs.String("server", "", "placement service base URL, e.g. http://127.0.0.1:7180")
+	clients := fs.Int("clients", 8, "concurrent clients")
+	duration := fs.Duration("duration", 10*time.Second, "load duration")
+	minEpochs := fs.Int("min-epochs", 0, "fail unless responses span at least this many distinct measurement epochs")
+	tasks := fs.Int("tasks", 6, "tasks in the generated test application")
+	tenant := fs.String("tenant", "load", "tenant header sent with every request")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return fmt.Errorf("-server is required (start one with: choreo serve)")
+	}
+	if *clients < 1 || *tasks < 2 {
+		return fmt.Errorf("need -clients >= 1 and -tasks >= 2")
+	}
+
+	// A ring-shuffle test application: every task ships 50 MB to its
+	// successor, so placement has real traffic to optimize.
+	app := api.AppSpec{Name: "load-ring", CPU: make([]float64, *tasks)}
+	for i := 0; i < *tasks; i++ {
+		app.CPU[i] = 1
+		app.TransfersMB = append(app.TransfersMB, [3]float64{float64(i), float64((i + 1) % *tasks), 50})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	type tally struct {
+		ok, rejected, failed int
+		firstErr             error
+		epochHash            map[int64]string
+		torn                 error
+	}
+	tallies := make([]tally, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			t := &tallies[id]
+			t.epochHash = make(map[int64]string)
+			c := &api.Client{BaseURL: *server, Tenant: *tenant}
+			rng := rand.New(rand.NewSource(int64(id)))
+			for ctx.Err() == nil {
+				resp, err := c.Place(ctx, api.PlaceRequest{App: app})
+				switch {
+				case err == nil:
+					t.ok++
+					if prev, seen := t.epochHash[resp.Epoch]; seen && prev != resp.EnvHash {
+						t.torn = fmt.Errorf("epoch %d served env %s then %s", resp.Epoch, prev, resp.EnvHash)
+						return
+					}
+					t.epochHash[resp.Epoch] = resp.EnvHash
+				case isQuota(err):
+					t.rejected++
+					// Back off a beat so a quota-limited run still makes
+					// progress instead of burning the bucket dry.
+					time.Sleep(time.Duration(50+rng.Intn(50)) * time.Millisecond)
+				case ctx.Err() != nil:
+					return // the deadline interrupted an in-flight request
+				default:
+					t.failed++
+					if t.firstErr == nil {
+						t.firstErr = err
+					}
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total, rejected, failed := 0, 0, 0
+	epochHash := make(map[int64]string)
+	var firstErr, torn error
+	for i := range tallies {
+		t := &tallies[i]
+		total += t.ok
+		rejected += t.rejected
+		failed += t.failed
+		if t.firstErr != nil && firstErr == nil {
+			firstErr = t.firstErr
+		}
+		if t.torn != nil && torn == nil {
+			torn = t.torn
+		}
+		for e, h := range t.epochHash {
+			if prev, seen := epochHash[e]; seen && prev != h && torn == nil {
+				torn = fmt.Errorf("epoch %d served env %s then %s (across clients)", e, prev, h)
+			}
+			epochHash[e] = h
+		}
+	}
+
+	fmt.Printf("load: %d placements in %.1fs = %.1f placements/sec (%d clients)\n",
+		total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), *clients)
+	fmt.Printf("load: %d distinct epochs observed, %d quota rejections, %d errors\n",
+		len(epochHash), rejected, failed)
+
+	if torn != nil {
+		return fmt.Errorf("snapshot isolation violated: %w", torn)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d requests failed; first: %w", failed, firstErr)
+	}
+	if total == 0 {
+		return fmt.Errorf("no placements completed")
+	}
+	if *minEpochs > 0 && len(epochHash) < *minEpochs {
+		return fmt.Errorf("responses span %d epochs, want >= %d — placements did not ride across a re-measurement (lower the server's -interval?)",
+			len(epochHash), *minEpochs)
+	}
+	fmt.Fprintln(os.Stderr, "load: ok")
+	return nil
+}
+
+func isQuota(err error) bool {
+	var qe *api.QuotaError
+	return errors.As(err, &qe)
+}

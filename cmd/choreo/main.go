@@ -11,12 +11,31 @@
 //	    completion-time comparison.
 //
 //	choreo measure -agents host1:7101,host2:7101[,...] [-bursts 10 -burstlen 200]
+//	    (the agent-fleet flag group is shared with sweep, serve and agents health)
 //	    measure every ordered pair of live agents with packet trains and
 //	    print the estimated rate matrix in Mbit/s.
 //
 //	choreo place -machines 4 -rates rates.json -app app.json [-model hose]
 //	    offline placement: read a measured rate matrix and an application
 //	    profile from JSON, print the task→machine assignment.
+//
+//	choreo place -server http://127.0.0.1:7180 -app app.json
+//	    post the same application to a running `choreo serve` and place
+//	    it against the service's current mesh snapshot; prints the full
+//	    versioned response (epoch, env hash, predicted completion).
+//
+//	choreo serve -backend sim -vms 8 -interval 5m -listen 127.0.0.1:7180
+//	    run the placement service: measure, then re-measure on an
+//	    interval, publishing each epoch as an immutable snapshot behind
+//	    POST /v1/place, /v1/migrate and GET /v1/health|metrics|env.
+//
+//	choreo load -server http://127.0.0.1:7180 -clients 8 -duration 10s
+//	    drive concurrent placements against a running service and report
+//	    sustained placements/sec; fails on errors or torn snapshots.
+//
+//	choreo agents health -agents host1:7101,host2:7101
+//	    preflight a fleet: dial, version-handshake and RTT-probe every
+//	    agent; non-zero exit if any agent is sick.
 //
 //	choreo sweep -topologies ec2-2013,rackspace -workloads shuffle,uniform \
 //	       -algorithms choreo,random,round-robin -seeds 2 -workers 8
@@ -50,18 +69,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
 	"time"
 
 	"choreo"
+	"choreo/internal/api"
 	"choreo/internal/cluster"
 	"choreo/internal/place"
-	"choreo/internal/probe"
 	"choreo/internal/profile"
 	"choreo/internal/units"
 )
@@ -83,6 +102,12 @@ func main() {
 		err = runSweep(os.Args[2:])
 	case "merge":
 		err = runMerge(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "load":
+		err = runLoad(os.Args[2:])
+	case "agents":
+		err = runAgents(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -97,7 +122,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: choreo <simulate|measure|place|sweep|merge> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: choreo <simulate|measure|place|sweep|merge|serve|load|agents> [flags]")
 }
 
 func profileByName(name string) (choreo.Profile, error) {
@@ -175,28 +200,16 @@ func runSimulate(args []string) error {
 
 func runMeasure(args []string) error {
 	fs := flag.NewFlagSet("measure", flag.ExitOnError)
-	agents := fs.String("agents", "", "comma-separated agent control addresses")
-	bursts := fs.Int("bursts", 10, "bursts per train (K)")
-	burstLen := fs.Int("burstlen", 200, "packets per burst (B)")
-	packet := fs.Int("packet", 1472, "packet size bytes (P)")
-	gap := fs.Duration("gap", time.Millisecond, "inter-burst gap (delta)")
-	timeout := fs.Duration("timeout", 30*time.Second, "per-operation timeout")
+	fleet := registerFleetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	addrs := strings.Split(*agents, ",")
-	if *agents == "" || len(addrs) < 2 {
-		return fmt.Errorf("need at least two -agents addresses")
+	addrs, err := fleet.addrs(2)
+	if err != nil {
+		return err
 	}
-	coord := cluster.NewCoordinator(addrs, *timeout)
-	cfg := probe.Config{
-		PacketSize:  units.ByteSize(*packet),
-		Bursts:      *bursts,
-		BurstLength: *burstLen,
-		Gap:         *gap,
-		MSS:         1460,
-	}
-	res, err := coord.MeasureMesh(cfg)
+	coord := cluster.NewCoordinator(addrs, *fleet.agentTimeout)
+	res, err := coord.MeasureMesh(context.Background(), fleet.train())
 	if err != nil {
 		return err
 	}
@@ -238,14 +251,32 @@ type appInput struct {
 
 func runPlace(args []string) error {
 	fs := flag.NewFlagSet("place", flag.ExitOnError)
-	ratesPath := fs.String("rates", "", "JSON file with the measured rate matrix")
+	ratesPath := fs.String("rates", "", "JSON file with the measured rate matrix (offline mode)")
 	appPath := fs.String("app", "", "JSON file with the application profile")
-	model := fs.String("model", "hose", "rate model: hose or pipe")
+	model := fs.String("model", "", "rate model: hose or pipe (server mode default: the server's model; offline default: hose)")
+	server := fs.String("server", "", "placement service base URL; the service's current mesh snapshot replaces -rates")
+	tenant := fs.String("tenant", "", "tenant header for -server requests")
+	algorithm := fs.String("algorithm", "", "placement algorithm for -server requests (default choreo)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *server != "" {
+		if *ratesPath != "" {
+			return fmt.Errorf("-rates is the offline rate matrix; with -server the service's mesh snapshot is the environment")
+		}
+		if *appPath == "" {
+			return fmt.Errorf("-app is required")
+		}
+		return placeViaServer(*server, *tenant, *appPath, *algorithm, *model)
+	}
+	if *algorithm != "" || *tenant != "" {
+		return fmt.Errorf("-algorithm and -tenant are server-mode flags; add -server URL")
+	}
 	if *ratesPath == "" || *appPath == "" {
 		return fmt.Errorf("both -rates and -app are required")
+	}
+	if *model == "" {
+		*model = "hose"
 	}
 	var pin placeInput
 	if err := readJSON(*ratesPath, &pin); err != nil {
@@ -299,6 +330,29 @@ func runPlace(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// placeViaServer is `choreo place -server`: the same application JSON
+// the offline mode reads is posted to a running placement service,
+// which places it against its current mesh snapshot. The full versioned
+// response (epoch, env hash, prediction) is printed as indented JSON.
+func placeViaServer(server, tenant, appPath, algorithm, model string) error {
+	var spec api.AppSpec
+	if err := readJSON(appPath, &spec); err != nil {
+		return err
+	}
+	c := &api.Client{BaseURL: server, Tenant: tenant}
+	resp, err := c.Place(context.Background(), api.PlaceRequest{
+		App:       spec,
+		Algorithm: algorithm,
+		Model:     model,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
 }
 
 func readJSON(path string, v interface{}) error {

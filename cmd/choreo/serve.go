@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"choreo/internal/api"
+	"choreo/internal/place"
+	"choreo/internal/serve"
+	"choreo/internal/sweep/backend"
+)
+
+// runServe starts the placement service: measure the cloud once
+// synchronously (the server never answers from an unmeasured mesh),
+// then listen, re-measuring in the background every -interval and
+// publishing each completed epoch as an immutable snapshot. SIGINT or
+// SIGTERM drains the HTTP server and cancels any in-flight mesh
+// measurement.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7180", "HTTP listen address")
+	backendName := fs.String("backend", "sim", "measurement backend: sim (deterministic netsim cloud) or live (real choreo-agent mesh)")
+	profileName := fs.String("profile", "ec2-2013", "provider profile (sim backend)")
+	vms := fs.Int("vms", 8, "VM slots to measure and place onto (live default: the fleet size)")
+	seed := fs.Int64("seed", 1, "deterministic seed (sim cloud + random-baseline rng)")
+	model := fs.String("model", "hose", "default rate model: hose or pipe")
+	interval := fs.Duration("interval", 5*time.Minute, "background re-measurement interval (0 disables re-measuring)")
+	quotaRate := fs.Float64("quota-rate", 0, "per-tenant requests/second on place+migrate (0 = unlimited)")
+	quotaBurst := fs.Int("quota-burst", 10, "per-tenant burst depth for -quota-rate")
+	fleet := registerFleetFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected arguments %q", fs.Args())
+	}
+	set := visited(fs)
+
+	cfg := serve.Config{
+		Interval:   *interval,
+		QuotaRate:  *quotaRate,
+		QuotaBurst: *quotaBurst,
+		Seed:       *seed,
+		Logf: func(format string, a ...interface{}) {
+			fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
+		},
+	}
+	var err error
+	if cfg.Model, err = api.ParseModel(*model, place.Hose); err != nil {
+		return err
+	}
+
+	switch *backendName {
+	case "sim":
+		if err := fleetFlagMisuse(set, "add -backend live"); err != nil {
+			return err
+		}
+		prof, err := profileByName(*profileName)
+		if err != nil {
+			return err
+		}
+		cfg.Backend = backend.NewSim()
+		cfg.Cell = backend.Cell{Topology: *profileName, Profile: prof, VMs: *vms, Seed: *seed}
+	case "live":
+		if set["profile"] {
+			return fmt.Errorf("-profile selects the simulated cloud; a live server measures the real fleet")
+		}
+		live, err := fleet.liveBackend()
+		if err != nil {
+			return err
+		}
+		addrs, _ := fleet.addrs(2)
+		n := *vms
+		if !set["vms"] {
+			n = len(addrs)
+		}
+		if n > len(addrs) {
+			return fmt.Errorf("-vms %d exceeds the fleet (%d agents)", n, len(addrs))
+		}
+		cfg.Backend = live
+		cfg.Cell = backend.Cell{Topology: "live", VMs: n, Seed: *seed}
+	default:
+		return fmt.Errorf("unknown -backend %q (sim or live)", *backendName)
+	}
+
+	srv := serve.New(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "serve: measuring boot epoch (%s backend, %d VMs)...\n", cfg.Backend.Name(), cfg.Cell.VMs)
+	if err := srv.Refresh(ctx); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on http://%s (re-measure every %s)\n", ln.Addr(), *interval)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = srv.Run(ctx) }() // epoch loop; exits on ctx cancel
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "serve: shutting down (canceling any in-flight measurement)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -11,9 +11,7 @@ import (
 	"time"
 
 	"choreo/internal/place"
-	"choreo/internal/probe"
 	"choreo/internal/sweep"
-	"choreo/internal/sweep/backend"
 	"choreo/internal/sweep/envcache"
 	"choreo/internal/sweep/shard"
 	"choreo/internal/units"
@@ -68,12 +66,7 @@ func runSweep(args []string) error {
 	maxMigrations := fs.Int("max-migrations", 3, "migration cap per application (sequence mode)")
 	model := fs.String("model", "hose", "rate model: hose or pipe")
 	backendName := fs.String("backend", "sim", "measurement backend: sim (deterministic netsim cloud) or live (real choreo-agent mesh)")
-	agents := fs.String("agents", "", "comma-separated choreo-agent control addresses (-backend live)")
-	agentTimeout := fs.Duration("agent-timeout", 30*time.Second, "per-operation agent timeout (-backend live)")
-	bursts := fs.Int("bursts", 10, "bursts per live packet train (-backend live)")
-	burstLen := fs.Int("burstlen", 200, "packets per live burst (-backend live)")
-	packet := fs.Int("packet", 1472, "live train packet size in bytes (-backend live)")
-	gap := fs.Duration("gap", time.Millisecond, "inter-burst gap for live trains (-backend live)")
+	fleet := registerFleetFlags(fs)
 	tracePath := fs.String("trace", "", "JSON trace file to replay as an extra workload")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (0 = GOMAXPROCS)")
 	optMaxTasks := fs.Int("optimal-max-tasks", 6, "compute the slowdown-vs-optimal reference up to this many tasks (0 disables)")
@@ -104,8 +97,7 @@ func runSweep(args []string) error {
 		OptimalMaxTasks: *optMaxTasks,
 		Timing:          *timing,
 	}
-	set := map[string]bool{}
-	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	set := visited(fs)
 	var err error
 	switch *mode {
 	case "snapshot":
@@ -218,31 +210,11 @@ func runSweep(args []string) error {
 	case "sim":
 		// A live-only flag on a simulated sweep would be silently ignored;
 		// fail with the fix instead.
-		for _, name := range []string{"agents", "agent-timeout", "bursts", "burstlen", "packet", "gap"} {
-			if set[name] {
-				return fmt.Errorf("-%s configures the live measurement backend; add -backend live", name)
-			}
+		if err := fleetFlagMisuse(set, "add -backend live"); err != nil {
+			return err
 		}
 	case "live":
-		addrs := splitList(*agents)
-		if len(addrs) < 2 {
-			return fmt.Errorf("-backend live needs at least two -agents control addresses (start one choreo-agent per VM)")
-		}
-		live, err := backend.NewLive(backend.LiveConfig{
-			Agents:  addrs,
-			Timeout: *agentTimeout,
-			Train: probe.Config{
-				PacketSize:  units.ByteSize(*packet),
-				Bursts:      *bursts,
-				BurstLength: *burstLen,
-				Gap:         *gap,
-				MSS:         1460,
-			},
-			// Stamp each invocation as its own mesh epoch: a real cloud
-			// drifts between sweeps, so two runs' measurements must never
-			// be conflated by anything keyed on cell identity.
-			Epoch: time.Now().Unix(),
-		})
+		live, err := fleet.liveBackend()
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -41,7 +42,7 @@ func main() {
 	}
 	fmt.Printf("\nmeasuring %d ordered pairs with %dx%d-packet trains...\n",
 		agents*(agents-1), cfg.Bursts, cfg.BurstLength)
-	res, err := coord.MeasureMesh(cfg)
+	res, err := coord.MeasureMesh(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func main() {
 
 	// Validate one path against a bulk TCP transfer (the paper's ground
 	// truth for train calibration).
-	rate, err := coord.BulkThroughput(0, 1, 500*time.Millisecond)
+	rate, err := coord.BulkThroughput(context.Background(), 0, 1, 500*time.Millisecond)
 	if err != nil {
 		log.Fatal(err)
 	}

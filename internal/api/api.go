@@ -1,0 +1,248 @@
+// Package api defines the versioned JSON types of the choreo placement
+// service — the stable wire contract between `choreo serve`, its HTTP
+// handlers, and every client (`choreo place -server`, the load harness,
+// plain curl).
+//
+// Every request and response carries an explicit protocol version in a
+// "v" field, mirroring the cluster control protocol: a server rejects a
+// request whose version it does not speak with a precise "client speaks
+// vN, server needs vM" error, and a client refuses a response the same
+// way in the other direction. The version is bumped only on incompatible
+// schema changes; additive fields do not bump it.
+//
+// The types deliberately wrap the same shapes the offline CLI already
+// speaks: AppSpec is the `choreo place -app` JSON schema, and
+// PlaceResponse carries the same machineOf / predictedCompletionSeconds
+// pair `choreo place` prints — a profile written for the offline tool
+// posts to the service unchanged.
+package api
+
+import (
+	"fmt"
+
+	"choreo/internal/core"
+	"choreo/internal/place"
+	"choreo/internal/profile"
+	"choreo/internal/units"
+)
+
+// Version is the placement API protocol version. Bump only on
+// incompatible changes to the request or response schemas.
+const Version = 1
+
+// CheckClientVersion is the server-side handshake: it validates the
+// version a request carried. A zero version means the client omitted
+// the field entirely, which is reported as v0 — pre-versioning clients
+// are indistinguishable from broken ones and both must upgrade.
+func CheckClientVersion(v int) error {
+	if v != Version {
+		return fmt.Errorf("api: client speaks v%d, server needs v%d; upgrade the client", v, Version)
+	}
+	return nil
+}
+
+// CheckServerVersion is the client-side handshake: it validates the
+// version a response carried, so a client talking to a future server
+// fails with the exact version gap instead of a decode error.
+func CheckServerVersion(v int) error {
+	if v != Version {
+		return fmt.Errorf("api: server speaks v%d, client needs v%d; upgrade choreo", v, Version)
+	}
+	return nil
+}
+
+// AppSpec is the application profile on the wire — the same schema
+// `choreo place -app` reads from disk, so offline profiles post to the
+// service verbatim.
+type AppSpec struct {
+	Name string `json:"name"`
+	// CPU[i] is cores demanded by task i; its length is the task count.
+	CPU []float64 `json:"cpu"`
+	// TransfersMB is a list of [from, to, megabytes] triples.
+	TransfersMB [][3]float64 `json:"transfersMB"`
+}
+
+// ToApplication converts the wire spec into a placement-engine profile.
+func (a AppSpec) ToApplication() (*profile.Application, error) {
+	if len(a.CPU) == 0 {
+		return nil, fmt.Errorf("api: app %q has no tasks (empty cpu array)", a.Name)
+	}
+	tm := profile.NewTrafficMatrix(len(a.CPU))
+	for _, tr := range a.TransfersMB {
+		if err := tm.Add(int(tr[0]), int(tr[1]), units.ByteSize(tr[2]*1e6)); err != nil {
+			return nil, fmt.Errorf("api: app %q transfer [%g %g %g]: %w", a.Name, tr[0], tr[1], tr[2], err)
+		}
+	}
+	return &profile.Application{Name: a.Name, CPU: a.CPU, TM: tm}, nil
+}
+
+// PlaceRequest asks the service to place an application on the current
+// mesh snapshot.
+type PlaceRequest struct {
+	V   int     `json:"v"`
+	App AppSpec `json:"app"`
+	// Algorithm selects the placement policy; empty means "choreo".
+	// Valid: choreo, random, round-robin, min-machines.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Model selects the rate model; empty means the server's default.
+	// Valid: hose, pipe.
+	Model string `json:"model,omitempty"`
+}
+
+// PlaceResponse reports a placement and the snapshot it was computed
+// against.
+type PlaceResponse struct {
+	V int `json:"v"`
+	// Epoch identifies the mesh snapshot the placement read; two
+	// responses with equal epochs saw byte-identical environments.
+	Epoch int64 `json:"epoch"`
+	// EnvHash fingerprints the snapshot's environment, so a client (or
+	// test) can verify snapshot isolation: equal epoch implies equal
+	// hash.
+	EnvHash string `json:"envHash"`
+	// MachineOf[i] is the machine assigned to task i.
+	MachineOf []int `json:"machineOf"`
+	// PredictedCompletionSeconds is the model's completion-time
+	// objective for the placement on the snapshot environment.
+	PredictedCompletionSeconds float64 `json:"predictedCompletionSeconds"`
+	Algorithm                  string  `json:"algorithm"`
+	Model                      string  `json:"model"`
+}
+
+// MigrateRequest asks whether an application placed under an older
+// snapshot should move, given the current mesh — §6.2's re-measurement
+// loop as an API call.
+type MigrateRequest struct {
+	V   int     `json:"v"`
+	App AppSpec `json:"app"`
+	// Current[i] is the machine task i runs on today.
+	Current []int `json:"current"`
+	// MinGain is the fractional completion-time improvement required to
+	// recommend moving (0.1 = 10% faster); zero means any improvement.
+	MinGain float64 `json:"minGain,omitempty"`
+	// Model selects the rate model; empty means the server's default.
+	Model string `json:"model,omitempty"`
+}
+
+// MigrateResponse reports whether to move and what the move buys.
+type MigrateResponse struct {
+	V       int    `json:"v"`
+	Epoch   int64  `json:"epoch"`
+	EnvHash string `json:"envHash"`
+	// Migrate is true when the proposed placement beats the current one
+	// by at least MinGain on the current snapshot.
+	Migrate bool `json:"migrate"`
+	// MachineOf is the proposed placement (returned even when Migrate
+	// is false, so callers can see what was considered).
+	MachineOf []int `json:"machineOf"`
+	// CurrentSeconds is the predicted completion of the existing
+	// placement on the current snapshot; ProposedSeconds of the
+	// re-placement.
+	CurrentSeconds  float64 `json:"currentSeconds"`
+	ProposedSeconds float64 `json:"proposedSeconds"`
+	Model           string  `json:"model"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	V     int    `json:"v"`
+	Error string `json:"error"`
+}
+
+// HealthResponse answers GET /v1/health.
+type HealthResponse struct {
+	V int `json:"v"`
+	// Status is "ok" once the first measurement epoch has been
+	// published; the server does not listen before that.
+	Status string `json:"status"`
+	// Backend names the measurement plane ("sim", "live").
+	Backend string `json:"backend"`
+	Epoch   int64  `json:"epoch"`
+	// VMs is the snapshot's machine count — the placement capacity.
+	VMs int `json:"vms"`
+}
+
+// MetricsResponse answers GET /v1/metrics.
+type MetricsResponse struct {
+	V int `json:"v"`
+	// Epoch is the current snapshot's epoch; Epochs counts completed
+	// measurement epochs (equal unless epochs failed).
+	Epoch  int64 `json:"epoch"`
+	Epochs int64 `json:"epochs"`
+	// EpochFailures counts re-measurement epochs that errored; the
+	// previous snapshot stays published across a failure.
+	EpochFailures int64 `json:"epochFailures"`
+	// Placements and Migrations count served requests; Rejected counts
+	// quota rejections (HTTP 429).
+	Placements int64 `json:"placements"`
+	Migrations int64 `json:"migrations"`
+	Rejected   int64 `json:"rejected"`
+	// MeasureSeconds is the wall-clock cost of the current snapshot's
+	// mesh measurement; AgeSeconds how long ago it was published.
+	MeasureSeconds float64 `json:"measureSeconds"`
+	AgeSeconds     float64 `json:"ageSeconds"`
+}
+
+// EnvResponse answers GET /v1/env: the current snapshot's measured
+// environment with its epoch and staleness.
+type EnvResponse struct {
+	V       int    `json:"v"`
+	Epoch   int64  `json:"epoch"`
+	EnvHash string `json:"envHash"`
+	// AgeSeconds is the snapshot's staleness: seconds since it was
+	// published.
+	AgeSeconds float64 `json:"ageSeconds"`
+	// RatesMbps[m][n] is the measured throughput m->n in Mbit/s — the
+	// `choreo place -rates` schema, so a snapshot feeds the offline
+	// tool directly.
+	RatesMbps [][]float64 `json:"ratesMbps"`
+	// CPUCap[m] is cores on machine m.
+	CPUCap []float64 `json:"cpuCap"`
+}
+
+// ParseAlgorithm resolves a wire algorithm name to the core policy.
+// Empty means choreo, the paper's algorithm. The service intentionally
+// speaks only the online policies — ilp and optimal are offline sweep
+// baselines with exponential cost, not things to run per-request.
+func ParseAlgorithm(name string) (core.Algorithm, error) {
+	switch name {
+	case "", "choreo", "greedy":
+		return core.AlgChoreo, nil
+	case "random":
+		return core.AlgRandom, nil
+	case "round-robin", "roundrobin":
+		return core.AlgRoundRobin, nil
+	case "min-machines", "minmachines":
+		return core.AlgMinMachines, nil
+	}
+	return 0, fmt.Errorf("api: unknown algorithm %q (valid: choreo, random, round-robin, min-machines)", name)
+}
+
+// AlgorithmName is the canonical wire name for a policy (the core
+// String() forms contain spaces; the wire names never do).
+func AlgorithmName(alg core.Algorithm) string {
+	switch alg {
+	case core.AlgRandom:
+		return "random"
+	case core.AlgRoundRobin:
+		return "round-robin"
+	case core.AlgMinMachines:
+		return "min-machines"
+	default:
+		return "choreo"
+	}
+}
+
+// ParseModel resolves a wire rate-model name; fallback is the server's
+// configured default for the empty string.
+func ParseModel(name string, fallback place.Model) (place.Model, error) {
+	switch name {
+	case "":
+		return fallback, nil
+	case "hose":
+		return place.Hose, nil
+	case "pipe":
+		return place.Pipe, nil
+	}
+	return 0, fmt.Errorf("api: unknown model %q (valid: hose, pipe)", name)
+}

@@ -1,0 +1,90 @@
+package api
+
+import (
+	"strings"
+	"testing"
+
+	"choreo/internal/core"
+	"choreo/internal/place"
+)
+
+func TestVersionHandshake(t *testing.T) {
+	if err := CheckClientVersion(Version); err != nil {
+		t.Errorf("matching client version rejected: %v", err)
+	}
+	if err := CheckServerVersion(Version); err != nil {
+		t.Errorf("matching server version rejected: %v", err)
+	}
+	err := CheckClientVersion(0)
+	if err == nil || !strings.Contains(err.Error(), "client speaks v0, server needs v1") {
+		t.Errorf("server-side mismatch error imprecise: %v", err)
+	}
+	err = CheckServerVersion(2)
+	if err == nil || !strings.Contains(err.Error(), "server speaks v2, client needs v1") {
+		t.Errorf("client-side mismatch error imprecise: %v", err)
+	}
+}
+
+func TestAppSpecToApplication(t *testing.T) {
+	spec := AppSpec{
+		Name:        "pipeline",
+		CPU:         []float64{1, 2, 1},
+		TransfersMB: [][3]float64{{0, 1, 100}, {1, 2, 50}},
+	}
+	app, err := spec.ToApplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Tasks() != 3 {
+		t.Errorf("Tasks() = %d, want 3", app.Tasks())
+	}
+	if got := float64(app.TM.Total()); got != 150e6 {
+		t.Errorf("total traffic = %v bytes, want 150e6", got)
+	}
+
+	if _, err := (AppSpec{Name: "empty"}).ToApplication(); err == nil {
+		t.Error("empty cpu array accepted")
+	}
+	bad := AppSpec{Name: "oob", CPU: []float64{1}, TransfersMB: [][3]float64{{0, 5, 1}}}
+	if _, err := bad.ToApplication(); err == nil {
+		t.Error("out-of-range transfer endpoint accepted")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]core.Algorithm{
+		"":             core.AlgChoreo,
+		"choreo":       core.AlgChoreo,
+		"greedy":       core.AlgChoreo,
+		"random":       core.AlgRandom,
+		"round-robin":  core.AlgRoundRobin,
+		"min-machines": core.AlgMinMachines,
+	}
+	for name, want := range cases {
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseAlgorithm("ilp"); err == nil {
+		t.Error("offline-only algorithm accepted by the service API")
+	}
+	for _, alg := range []core.Algorithm{core.AlgChoreo, core.AlgRandom, core.AlgRoundRobin, core.AlgMinMachines} {
+		rt, err := ParseAlgorithm(AlgorithmName(alg))
+		if err != nil || rt != alg {
+			t.Errorf("AlgorithmName round-trip for %v: got %v, %v", alg, rt, err)
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	if m, err := ParseModel("", place.Pipe); err != nil || m != place.Pipe {
+		t.Errorf("empty model did not fall back: %v, %v", m, err)
+	}
+	if m, err := ParseModel("hose", place.Pipe); err != nil || m != place.Hose {
+		t.Errorf("hose: %v, %v", m, err)
+	}
+	if _, err := ParseModel("bogus", place.Hose); err == nil {
+		t.Error("bogus model accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -130,7 +131,7 @@ func TestAgentCoordinatorMesh(t *testing.T) {
 		t.Fatalf("agents = %d", coord.Agents())
 	}
 
-	res, err := coord.MeasureMesh(tinyTrain())
+	res, err := coord.MeasureMesh(context.Background(), tinyTrain())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,25 +165,25 @@ func TestAgentBulkThroughput(t *testing.T) {
 	}
 	defer a2.Close()
 	coord := NewCoordinator([]string{a1.Addr(), a2.Addr()}, 10*time.Second)
-	rate, err := coord.BulkThroughput(0, 1, 200*time.Millisecond)
+	rate, err := coord.BulkThroughput(context.Background(), 0, 1, 200*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rate < units.Mbps(10) {
 		t.Errorf("bulk throughput %v suspiciously low", rate)
 	}
-	if _, err := coord.BulkThroughput(0, 0, time.Second); err == nil {
+	if _, err := coord.BulkThroughput(context.Background(), 0, 0, time.Second); err == nil {
 		t.Error("self bulk should fail")
 	}
 }
 
 func TestCoordinatorErrors(t *testing.T) {
 	coord := NewCoordinator([]string{"127.0.0.1:1"}, time.Second)
-	if _, err := coord.MeasureMesh(tinyTrain()); err == nil {
+	if _, err := coord.MeasureMesh(context.Background(), tinyTrain()); err == nil {
 		t.Error("single agent mesh should fail")
 	}
 	coord2 := NewCoordinator([]string{"127.0.0.1:1", "127.0.0.1:2"}, 500*time.Millisecond)
-	if _, err := coord2.MeasureMesh(tinyTrain()); err == nil {
+	if _, err := coord2.MeasureMesh(context.Background(), tinyTrain()); err == nil {
 		t.Error("unreachable agents should fail")
 	}
 }
@@ -194,12 +195,12 @@ func TestAgentUnknownOp(t *testing.T) {
 	}
 	defer a.Close()
 	c := NewCoordinator([]string{a.Addr()}, time.Second)
-	s, err := c.dial(a.Addr())
+	s, err := c.dial(context.Background(), a.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.close()
-	if _, err := s.call(&Request{Op: "bogus"}); err == nil {
+	if _, err := s.call(context.Background(), &Request{Op: "bogus"}); err == nil {
 		t.Error("unknown op should return an error response")
 	}
 }

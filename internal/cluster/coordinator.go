@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -14,6 +15,15 @@ import (
 // Coordinator drives a set of agents to measure the full mesh of paths
 // between them — the "centralized server" the paper gathers throughput
 // data on.
+//
+// Every operation takes a context.Context: a mesh measurement is minutes
+// of wall clock on a real fleet, and long-running callers (the placement
+// service's re-measurement epochs) must be able to abandon one mid-pair
+// on shutdown. Cancellation is prompt even inside a blocking socket read:
+// the session arms a context.AfterFunc that yanks the connection deadline
+// forward, so a canceled context surfaces as ctx.Err() instead of waiting
+// out the per-operation timeout. One-shot callers pass
+// context.Background() and get exactly the old behaviour.
 type Coordinator struct {
 	agents  []string // control addresses
 	timeout time.Duration
@@ -30,6 +40,9 @@ func NewCoordinator(agents []string, timeout time.Duration) *Coordinator {
 // Agents returns the configured agent count.
 func (c *Coordinator) Agents() int { return len(c.agents) }
 
+// Addr returns agent i's control address.
+func (c *Coordinator) Addr(i int) string { return c.agents[i] }
+
 // session is one control connection.
 type session struct {
 	conn    net.Conn
@@ -39,10 +52,11 @@ type session struct {
 	timeout time.Duration
 }
 
-func (c *Coordinator) dial(addr string) (*session, error) {
-	conn, err := net.DialTimeout("tcp", addr, c.timeout)
+func (c *Coordinator) dial(ctx context.Context, addr string) (*session, error) {
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: dial agent %s: %w", addr, err)
+		return nil, fmt.Errorf("cluster: dial agent %s: %w", addr, ctxCause(ctx, err))
 	}
 	return &session{
 		conn:    conn,
@@ -53,36 +67,56 @@ func (c *Coordinator) dial(addr string) (*session, error) {
 	}, nil
 }
 
-func (s *session) call(req *Request) (*Response, error) {
+// ctxCause substitutes the context's own error for an I/O error it
+// provoked: cancellation forces the connection deadline forward, so the
+// raw failure is an unhelpful "i/o timeout" — the caller should see
+// context.Canceled (or DeadlineExceeded) and be able to errors.Is on it.
+func ctxCause(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+func (s *session) call(ctx context.Context, req *Request) (*Response, error) {
 	req.V = ProtocolVersion
 	if err := s.conn.SetWriteDeadline(time.Now().Add(s.timeout)); err != nil {
 		return nil, err
 	}
-	if err := s.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("cluster: send to agent %s: %w", s.addr, err)
+	// Arm cancellation after setting the deadline, never before: AfterFunc
+	// on an already-canceled context fires immediately, and a later
+	// SetWriteDeadline would quietly undo its interrupt.
+	stop := context.AfterFunc(ctx, func() { _ = s.conn.SetDeadline(time.Now()) })
+	err := s.enc.Encode(req)
+	stop()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: send to agent %s: %w", s.addr, ctxCause(ctx, err))
 	}
-	return s.read()
+	return s.read(ctx)
 }
 
 // read decodes one response within the session timeout. A peer that
 // accepted the connection but never answers — a wedged or pre-protocol
 // process — therefore fails with a deadline error instead of hanging
 // the coordinator forever.
-func (s *session) read() (*Response, error) {
-	return s.readWithin(s.timeout)
+func (s *session) read(ctx context.Context) (*Response, error) {
+	return s.readWithin(ctx, s.timeout)
 }
 
 // readWithin decodes one response with an explicit deadline; two-phase
 // operations use it for the result line, whose arrival is bounded by
 // the remote measurement's own timeout rather than one control
-// round-trip.
-func (s *session) readWithin(d time.Duration) (*Response, error) {
+// round-trip. A canceled context interrupts the read immediately.
+func (s *session) readWithin(ctx context.Context, d time.Duration) (*Response, error) {
 	if err := s.conn.SetReadDeadline(time.Now().Add(d)); err != nil {
 		return nil, err
 	}
+	stop := context.AfterFunc(ctx, func() { _ = s.conn.SetDeadline(time.Now()) })
 	var resp Response
-	if err := s.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("cluster: agent %s: %w", s.addr, err)
+	err := s.dec.Decode(&resp)
+	stop()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: agent %s: %w", s.addr, ctxCause(ctx, err))
 	}
 	if resp.Error != "" {
 		return nil, fmt.Errorf("cluster: agent %s: %s", s.addr, resp.Error)
@@ -96,13 +130,13 @@ func (s *session) readWithin(d time.Duration) (*Response, error) {
 func (s *session) close() { _ = s.conn.Close() }
 
 // EchoAddr asks an agent for its RTT echo address.
-func (c *Coordinator) EchoAddr(agent int) (string, error) {
-	s, err := c.dial(c.agents[agent])
+func (c *Coordinator) EchoAddr(ctx context.Context, agent int) (string, error) {
+	s, err := c.dial(ctx, c.agents[agent])
 	if err != nil {
 		return "", err
 	}
 	defer s.close()
-	resp, err := s.call(&Request{Op: "info"})
+	resp, err := s.call(ctx, &Request{Op: "info"})
 	if err != nil {
 		return "", err
 	}
@@ -115,27 +149,27 @@ func (c *Coordinator) EchoAddr(agent int) (string, error) {
 
 // MeasurePath runs one packet train from agent src to agent dst and
 // returns the resulting observation (RTT included).
-func (c *Coordinator) MeasurePath(src, dst int, cfg probe.Config) (probe.Observation, error) {
+func (c *Coordinator) MeasurePath(ctx context.Context, src, dst int, cfg probe.Config) (probe.Observation, error) {
 	if src == dst {
 		return probe.Observation{}, fmt.Errorf("cluster: src == dst")
 	}
-	echoAddr, err := c.EchoAddr(dst)
+	echoAddr, err := c.EchoAddr(ctx, dst)
 	if err != nil {
 		return probe.Observation{}, err
 	}
 
-	srcSess, err := c.dial(c.agents[src])
+	srcSess, err := c.dial(ctx, c.agents[src])
 	if err != nil {
 		return probe.Observation{}, err
 	}
 	defer srcSess.close()
 
-	rttResp, err := srcSess.call(&Request{Op: "rtt", Target: echoAddr, Count: 5, TimeoutMs: 1000})
+	rttResp, err := srcSess.call(ctx, &Request{Op: "rtt", Target: echoAddr, Count: 5, TimeoutMs: 1000})
 	if err != nil {
 		return probe.Observation{}, fmt.Errorf("cluster: rtt %d->%d: %w", src, dst, err)
 	}
 
-	dstSess, err := c.dial(c.agents[dst])
+	dstSess, err := c.dial(ctx, c.agents[dst])
 	if err != nil {
 		return probe.Observation{}, err
 	}
@@ -150,7 +184,7 @@ func (c *Coordinator) MeasurePath(src, dst int, cfg probe.Config) (probe.Observa
 		TimeoutMs:  c.timeout.Milliseconds(),
 		RTTNs:      rttResp.RTTNs,
 	}
-	ready, err := dstSess.call(req)
+	ready, err := dstSess.call(ctx, req)
 	if err != nil {
 		return probe.Observation{}, fmt.Errorf("cluster: arm receiver %d: %w", dst, err)
 	}
@@ -163,13 +197,13 @@ func (c *Coordinator) MeasurePath(src, dst int, cfg probe.Config) (probe.Observa
 	sendReq := *req
 	sendReq.Op = "udp-send"
 	sendReq.Target = target
-	if _, err := srcSess.call(&sendReq); err != nil {
+	if _, err := srcSess.call(ctx, &sendReq); err != nil {
 		return probe.Observation{}, fmt.Errorf("cluster: send train %d->%d: %w", src, dst, err)
 	}
 
 	// The result line lands once the receiver finishes or its own
 	// timeout (TimeoutMs above) fires, so allow that plus slack.
-	result, err := dstSess.readWithin(c.timeout + 5*time.Second)
+	result, err := dstSess.readWithin(ctx, c.timeout+5*time.Second)
 	if err != nil {
 		return probe.Observation{}, fmt.Errorf("cluster: train result %d->%d: %w", src, dst, err)
 	}
@@ -197,8 +231,9 @@ type MeshResult struct {
 // A failing pair aborts the mesh with the pair's coordinates, both
 // agents' addresses and how far the mesh had got — the partial-mesh
 // report that tells an operator exactly which path (and which agent)
-// to look at.
-func (c *Coordinator) MeasureMesh(cfg probe.Config) (*MeshResult, error) {
+// to look at. A canceled context aborts between pairs — and interrupts
+// the in-flight pair's sockets — with the same progress report.
+func (c *Coordinator) MeasureMesh(ctx context.Context, cfg probe.Config) (*MeshResult, error) {
 	n := len(c.agents)
 	if n < 2 {
 		return nil, fmt.Errorf("cluster: mesh needs at least 2 agents, got %d", n)
@@ -214,7 +249,10 @@ func (c *Coordinator) MeasureMesh(cfg probe.Config) (*MeshResult, error) {
 			if src == dst {
 				continue
 			}
-			obs, err := c.MeasurePath(src, dst, cfg)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("cluster: mesh canceled after %d of %d pairs: %w", done, total, err)
+			}
+			obs, err := c.MeasurePath(ctx, src, dst, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: mesh pair %d->%d (%s -> %s) failed after %d of %d pairs: %w",
 					src, dst, c.agents[src], c.agents[dst], done, total, err)
@@ -234,16 +272,16 @@ func (c *Coordinator) MeasureMesh(cfg probe.Config) (*MeshResult, error) {
 
 // BulkThroughput runs a netperf-style transfer from src to dst for the
 // given duration and returns the receiver-measured rate.
-func (c *Coordinator) BulkThroughput(src, dst int, duration time.Duration) (units.Rate, error) {
+func (c *Coordinator) BulkThroughput(ctx context.Context, src, dst int, duration time.Duration) (units.Rate, error) {
 	if src == dst {
 		return 0, fmt.Errorf("cluster: src == dst")
 	}
-	dstSess, err := c.dial(c.agents[dst])
+	dstSess, err := c.dial(ctx, c.agents[dst])
 	if err != nil {
 		return 0, err
 	}
 	defer dstSess.close()
-	ready, err := dstSess.call(&Request{Op: "tcp-recv", TimeoutMs: (duration + c.timeout).Milliseconds()})
+	ready, err := dstSess.call(ctx, &Request{Op: "tcp-recv", TimeoutMs: (duration + c.timeout).Milliseconds()})
 	if err != nil {
 		return 0, err
 	}
@@ -253,15 +291,15 @@ func (c *Coordinator) BulkThroughput(src, dst int, duration time.Duration) (unit
 	}
 	target := net.JoinHostPort(host, fmt.Sprint(ready.Port))
 
-	srcSess, err := c.dial(c.agents[src])
+	srcSess, err := c.dial(ctx, c.agents[src])
 	if err != nil {
 		return 0, err
 	}
 	defer srcSess.close()
-	if _, err := srcSess.call(&Request{Op: "tcp-send", Target: target, DurationMs: duration.Milliseconds()}); err != nil {
+	if _, err := srcSess.call(ctx, &Request{Op: "tcp-send", Target: target, DurationMs: duration.Milliseconds()}); err != nil {
 		return 0, err
 	}
-	result, err := dstSess.readWithin(duration + c.timeout)
+	result, err := dstSess.readWithin(ctx, duration+c.timeout)
 	if err != nil {
 		return 0, err
 	}

@@ -8,7 +8,9 @@ package cluster_test
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -37,7 +39,7 @@ func TestMeshAgentDiesMidMeasurement(t *testing.T) {
 	}
 
 	coord := cluster.NewCoordinator(addrs, 2*time.Second)
-	_, err = coord.MeasureMesh(livetest.QuickTrain())
+	_, err = coord.MeasureMesh(context.Background(), livetest.QuickTrain())
 	if err == nil {
 		t.Fatal("MeasureMesh succeeded with a dead agent")
 	}
@@ -71,7 +73,7 @@ func TestMeshDialFailure(t *testing.T) {
 	ln.Close()
 
 	coord := cluster.NewCoordinator([]string{mesh.Addrs()[0], dead}, 2*time.Second)
-	_, err = coord.MeasureMesh(livetest.QuickTrain())
+	_, err = coord.MeasureMesh(context.Background(), livetest.QuickTrain())
 	if err == nil {
 		t.Fatal("MeasureMesh succeeded with an unreachable agent")
 	}
@@ -105,7 +107,7 @@ func TestSilentAgentTimesOut(t *testing.T) {
 	coord := cluster.NewCoordinator([]string{ln.Addr().String(), ln.Addr().String()}, 300*time.Millisecond)
 	done := make(chan error, 1)
 	go func() {
-		_, err := coord.EchoAddr(0)
+		_, err := coord.EchoAddr(context.Background(), 0)
 		done <- err
 	}()
 	select {
@@ -146,7 +148,7 @@ func TestStaleAgentVersionRefused(t *testing.T) {
 	}()
 
 	coord := cluster.NewCoordinator([]string{ln.Addr().String(), ln.Addr().String()}, 2*time.Second)
-	_, err = coord.EchoAddr(0)
+	_, err = coord.EchoAddr(context.Background(), 0)
 	if err == nil {
 		t.Fatal("coordinator accepted a v1 response")
 	}
@@ -187,5 +189,60 @@ func TestStaleCoordinatorVersionRefused(t *testing.T) {
 	}
 	if resp.V != cluster.ProtocolVersion {
 		t.Errorf("agent error response carries v%d, want v%d", resp.V, cluster.ProtocolVersion)
+	}
+}
+
+// TestMeasureMeshCanceled cancels a mesh measurement mid-flight: the
+// coordinator must return promptly (well before the pairs remaining
+// would take), surface context.Canceled through errors.Is, and report
+// partial-mesh progress — the shutdown path `choreo serve` relies on.
+func TestMeasureMeshCanceled(t *testing.T) {
+	mesh, err := livetest.Start(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+
+	// A slow train: 40 bursts with a 50 ms gap is ~2 s per pair, 6 pairs
+	// ~12 s per mesh — cancellation after 100 ms must cut all of it.
+	slow := livetest.QuickTrain()
+	slow.Bursts = 40
+	slow.Gap = 50 * time.Millisecond
+
+	coord := cluster.NewCoordinator(mesh.Addrs(), 30*time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = coord.MeasureMesh(ctx, slow)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("MeasureMesh succeeded despite cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "of 6 pairs") {
+		t.Errorf("error does not report partial-mesh progress: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; the in-flight pair was not interrupted", elapsed)
+	}
+}
+
+// TestMeasureMeshAlreadyCanceled pins the fast path: a context canceled
+// before the first pair must fail before touching any socket.
+func TestMeasureMeshAlreadyCanceled(t *testing.T) {
+	coord := cluster.NewCoordinator([]string{"127.0.0.1:1", "127.0.0.1:2"}, time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := coord.MeasureMesh(ctx, livetest.QuickTrain())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("MeasureMesh on a canceled context = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "after 0 of 2 pairs") {
+		t.Errorf("error does not report zero progress: %v", err)
 	}
 }

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"choreo/internal/api"
+	"choreo/internal/core"
+	"choreo/internal/place"
+)
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/place    place an application on the current snapshot
+//	POST /v1/migrate  should an existing placement move?
+//	GET  /v1/health   liveness + current epoch
+//	GET  /v1/metrics  counters
+//	GET  /v1/env      the current snapshot's environment
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/place", s.handlePlace)
+	mux.HandleFunc("POST /v1/migrate", s.handleMigrate)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/env", s.handleEnv)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, api.ErrorResponse{V: api.Version, Error: fmt.Sprintf(format, args...)})
+}
+
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Choreo-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// admit runs the shared compute-endpoint preflight: quota, then the
+// version handshake on the decoded request's "v" field. It returns the
+// current snapshot, or nil after writing the rejection.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, v int) *Snapshot {
+	if !s.quota.allow(tenantOf(r)) {
+		s.rejected.Add(1)
+		writeErr(w, http.StatusTooManyRequests, "tenant %q over quota", tenantOf(r))
+		return nil
+	}
+	if err := api.CheckClientVersion(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return nil
+	}
+	snap := s.store.Current()
+	if snap == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no measurement epoch published yet")
+		return nil
+	}
+	return snap
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req api.PlaceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	snap := s.admit(w, r, req.V)
+	if snap == nil {
+		return
+	}
+	alg, err := api.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model, err := api.ParseModel(req.Model, s.cfg.Model)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	app, err := req.App.ToApplication()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + s.placeSeq.Add(1)))
+	p, err := core.PlaceWith(app, snap.Env, alg, model, rng)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "placement failed: %v", err)
+		return
+	}
+	ct, err := place.CompletionTime(app, snap.Env, p, model)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "completion time: %v", err)
+		return
+	}
+	s.placements.Add(1)
+	writeJSON(w, http.StatusOK, api.PlaceResponse{
+		V:                          api.Version,
+		Epoch:                      snap.Epoch,
+		EnvHash:                    snap.Hash,
+		MachineOf:                  p.MachineOf,
+		PredictedCompletionSeconds: ct.Seconds(),
+		Algorithm:                  api.AlgorithmName(alg),
+		Model:                      model.String(),
+	})
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req api.MigrateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	snap := s.admit(w, r, req.V)
+	if snap == nil {
+		return
+	}
+	model, err := api.ParseModel(req.Model, s.cfg.Model)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	app, err := req.App.ToApplication()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Current) != app.Tasks() {
+		writeErr(w, http.StatusBadRequest, "current placement covers %d tasks, app has %d", len(req.Current), app.Tasks())
+		return
+	}
+	machines := snap.Env.Machines()
+	for i, m := range req.Current {
+		if m < 0 || m >= machines {
+			writeErr(w, http.StatusBadRequest, "current[%d] = %d out of range (snapshot has %d machines)", i, m, machines)
+			return
+		}
+	}
+	cur, err := place.CompletionTime(app, snap.Env, place.Placement{MachineOf: req.Current}, model)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "current completion time: %v", err)
+		return
+	}
+	// Migration always re-places with the paper's greedy algorithm —
+	// the §6.3 re-evaluation loop compares "where you are" against
+	// "where choreo would put you now".
+	prop, err := place.Greedy(app, snap.Env, model)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "re-placement failed: %v", err)
+		return
+	}
+	propCT, err := place.CompletionTime(app, snap.Env, prop, model)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "proposed completion time: %v", err)
+		return
+	}
+	migrate := propCT < cur
+	if req.MinGain > 0 && cur > 0 {
+		gain := (cur - propCT).Seconds() / cur.Seconds()
+		migrate = gain >= req.MinGain
+	}
+	s.migrations.Add(1)
+	writeJSON(w, http.StatusOK, api.MigrateResponse{
+		V:               api.Version,
+		Epoch:           snap.Epoch,
+		EnvHash:         snap.Hash,
+		Migrate:         migrate,
+		MachineOf:       prop.MachineOf,
+		CurrentSeconds:  cur.Seconds(),
+		ProposedSeconds: propCT.Seconds(),
+		Model:           model.String(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, api.HealthResponse{
+			V: api.Version, Status: "starting", Backend: s.cfg.Backend.Name(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.HealthResponse{
+		V:       api.Version,
+		Status:  "ok",
+		Backend: s.cfg.Backend.Name(),
+		Epoch:   snap.Epoch,
+		VMs:     snap.Env.Machines(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := api.MetricsResponse{
+		V:             api.Version,
+		Epochs:        s.epochSeq.Load(),
+		EpochFailures: s.epochFailures.Load(),
+		Placements:    s.placements.Load(),
+		Migrations:    s.migrations.Load(),
+		Rejected:      s.rejected.Load(),
+	}
+	if snap := s.store.Current(); snap != nil {
+		resp.Epoch = snap.Epoch
+		resp.MeasureSeconds = snap.Elapsed.Seconds()
+		resp.AgeSeconds = snap.Age(time.Now()).Seconds()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEnv(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no measurement epoch published yet")
+		return
+	}
+	m := snap.Env.Machines()
+	rates := make([][]float64, m)
+	for i := range rates {
+		rates[i] = make([]float64, m)
+		for j := range rates[i] {
+			rates[i][j] = snap.Env.Rates[i][j].Mbps()
+		}
+	}
+	writeJSON(w, http.StatusOK, api.EnvResponse{
+		V:          api.Version,
+		Epoch:      snap.Epoch,
+		EnvHash:    snap.Hash,
+		AgeSeconds: snap.Age(time.Now()).Seconds(),
+		RatesMbps:  rates,
+		CPUCap:     append([]float64(nil), snap.Env.CPUCap...),
+	})
+}

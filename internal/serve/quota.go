@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is a per-tenant token bucket limiting the compute endpoints
+// (place, migrate). Each tenant — keyed by the X-Choreo-Tenant header —
+// gets its own bucket holding up to burst tokens refilled at rate
+// tokens per second; a request spends one token or is rejected with
+// HTTP 429. The read-only endpoints (health, metrics, env) are exempt:
+// monitoring must keep working for a tenant that has talked itself into
+// rejection.
+type quotas struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time // test hook
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newQuotas builds a limiter; rate <= 0 returns nil, meaning unlimited
+// (the nil receiver's allow always grants).
+func newQuotas(rate float64, burst int) *quotas {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token from tenant's bucket, reporting whether the
+// request may proceed. A tenant's first request finds a full bucket.
+func (q *quotas) allow(tenant string) bool {
+	if q == nil {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"choreo/internal/place"
+	"choreo/internal/sweep/backend"
+)
+
+// Config parameterizes a placement server.
+type Config struct {
+	// Backend is the measurement plane the server owns (sim or live).
+	Backend backend.Backend
+	// Cell names what to measure: topology profile, VM count, seed —
+	// the same coordinate a sweep cell uses.
+	Cell backend.Cell
+	// Model is the default rate model for requests that do not name
+	// one.
+	Model place.Model
+	// Interval is the background re-measurement period; zero or
+	// negative disables background epochs (the boot epoch still runs).
+	Interval time.Duration
+	// QuotaRate is the per-tenant request rate (tokens/second) for the
+	// compute endpoints; <= 0 means unlimited. QuotaBurst is the bucket
+	// depth (minimum 1).
+	QuotaRate  float64
+	QuotaBurst int
+	// Seed drives the random-placement baseline; each request derives
+	// its rng from Seed plus a per-server request sequence number, so a
+	// single-client run is reproducible.
+	Seed int64
+	// Logf, when non-nil, receives operational log lines (epoch
+	// published, epoch failed).
+	Logf func(format string, args ...interface{})
+}
+
+// Server owns the snapshot store, quota state and request counters. It
+// is an http.Handler factory plus an epoch loop; listening is left to
+// the caller so tests can use httptest and the CLI owns shutdown.
+type Server struct {
+	cfg   Config
+	store Store
+	quota *quotas
+
+	epochSeq      atomic.Int64 // next epoch number - published count on success
+	epochFailures atomic.Int64
+	placements    atomic.Int64
+	migrations    atomic.Int64
+	rejected      atomic.Int64
+	placeSeq      atomic.Int64
+}
+
+// New builds a server. Call Refresh once before serving: handlers
+// answer 503 until a first snapshot exists.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg, quota: newQuotas(cfg.QuotaRate, cfg.QuotaBurst)}
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Snapshot returns the current published snapshot (nil before the
+// first Refresh).
+func (s *Server) Snapshot() *Snapshot { return s.store.Current() }
+
+// Refresh runs one measurement epoch: measure the cell through the
+// backend, freeze the result, and atomically publish it as the next
+// snapshot. On error the previous snapshot stays published — a failed
+// re-measure degrades staleness, never availability. The context
+// cancels an in-flight mesh measurement (graceful shutdown).
+func (s *Server) Refresh(ctx context.Context) error {
+	start := time.Now()
+	env, err := s.cfg.Backend.Measure(ctx, s.cfg.Cell)
+	if err != nil {
+		s.epochFailures.Add(1)
+		return fmt.Errorf("serve: epoch measurement: %w", err)
+	}
+	// Clone defensively: the backend (or its cache) may retain the
+	// returned environment, and a published snapshot must be immutable.
+	env = env.Clone()
+	if err := env.Validate(); err != nil {
+		s.epochFailures.Add(1)
+		return fmt.Errorf("serve: epoch produced invalid environment: %w", err)
+	}
+	snap := &Snapshot{
+		Epoch:     s.epochSeq.Add(1),
+		Env:       env,
+		Hash:      EnvHash(env),
+		Published: time.Now(),
+		Elapsed:   time.Since(start),
+	}
+	s.store.Publish(snap)
+	s.logf("epoch %d published: %d machines, measured in %.2fs, env %s",
+		snap.Epoch, env.Machines(), snap.Elapsed.Seconds(), snap.Hash)
+	return nil
+}
+
+// Run re-measures every cfg.Interval until ctx is canceled. A failing
+// epoch is logged and counted; the loop keeps going with the stale
+// snapshot. Run returns nil on cancellation — shutdown is the expected
+// exit.
+func (s *Server) Run(ctx context.Context) error {
+	if s.cfg.Interval <= 0 {
+		<-ctx.Done()
+		return nil
+	}
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			if err := s.Refresh(ctx); err != nil {
+				if ctx.Err() != nil {
+					return nil // shutdown canceled the in-flight mesh
+				}
+				s.logf("epoch failed (snapshot %d stays live): %v", s.currentEpoch(), err)
+			}
+		}
+	}
+}
+
+func (s *Server) currentEpoch() int64 {
+	if snap := s.store.Current(); snap != nil {
+		return snap.Epoch
+	}
+	return 0
+}

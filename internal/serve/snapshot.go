@@ -1,0 +1,98 @@
+// Package serve implements the choreo placement service: a daemon that
+// owns a measurement backend, re-measures the cloud on an interval
+// (§6.2's re-measurement loop), and serves placement requests against
+// immutable copy-on-write mesh snapshots over a versioned HTTP JSON API
+// (internal/api).
+//
+// The concurrency design is the package's whole point: a mesh
+// measurement is seconds to minutes of wall clock, and a placement
+// request must never wait on one. Each completed epoch is published as
+// an immutable Snapshot behind an atomic pointer; request handlers load
+// the pointer once and compute against that frozen environment, so
+// reads are lock-free and a re-measure in flight is invisible until it
+// swaps in — no request ever observes a half-refreshed mesh.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"choreo/internal/place"
+)
+
+func mathFloatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// Snapshot is one published measurement epoch: a frozen environment
+// plus its provenance. A Snapshot and everything it points to is
+// immutable after Publish — handlers share it freely without locks.
+type Snapshot struct {
+	// Epoch is the server's monotonic epoch counter, starting at 1 for
+	// the synchronous boot measurement.
+	Epoch int64
+	// Env is the measured environment. Never mutated after publish; a
+	// new epoch builds a fresh one (copy-on-write).
+	Env *place.Environment
+	// Hash fingerprints Env (EnvHash). Responses echo it so clients and
+	// tests can verify snapshot isolation: equal epoch implies equal
+	// hash.
+	Hash string
+	// Published is when the snapshot went live; Elapsed is the
+	// wall-clock cost of the mesh measurement behind it.
+	Published time.Time
+	Elapsed   time.Duration
+}
+
+// Age is the snapshot's staleness at now.
+func (s *Snapshot) Age(now time.Time) time.Duration { return now.Sub(s.Published) }
+
+// Store publishes snapshots to concurrent readers. Reads are a single
+// atomic pointer load; Publish is a single store. There is no lock to
+// convoy on, which is what lets placement throughput ride through a
+// re-measurement epoch untouched.
+type Store struct {
+	p atomic.Pointer[Snapshot]
+}
+
+// Publish atomically swaps in a new snapshot.
+func (st *Store) Publish(s *Snapshot) { st.p.Store(s) }
+
+// Current returns the live snapshot, or nil before the first epoch.
+func (st *Store) Current() *Snapshot { return st.p.Load() }
+
+// EnvHash fingerprints an environment: dimensions and every rate, hose
+// rate, cross-traffic estimate and CPU capacity, bit-exact. Two
+// environments hash equal iff a placement computed against them is
+// indistinguishable.
+func EnvHash(env *place.Environment) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(len(env.Rates)))
+	for _, row := range env.Rates {
+		for _, r := range row {
+			writeU64(uint64(r))
+		}
+	}
+	writeU64(uint64(len(env.HoseRates)))
+	for _, r := range env.HoseRates {
+		writeU64(uint64(r))
+	}
+	writeU64(uint64(len(env.Cross)))
+	for _, row := range env.Cross {
+		for _, c := range row {
+			writeU64(mathFloatBits(c))
+		}
+	}
+	writeU64(uint64(len(env.CPUCap)))
+	for _, c := range env.CPUCap {
+		writeU64(mathFloatBits(c))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -27,6 +27,7 @@
 package backend
 
 import (
+	"context"
 	"time"
 
 	"choreo/internal/place"
@@ -54,6 +55,12 @@ type Cell struct {
 // Backend measures a cell's cloud and executes placements on it.
 // Implementations must be safe for concurrent use by the sweep worker
 // pool.
+//
+// Every operation takes a context.Context so long-running callers — the
+// placement service canceling an in-flight re-measurement epoch on
+// shutdown — can abandon it promptly. One-shot callers (`choreo sweep`)
+// pass context.Background(); the simulated backend ignores the context
+// entirely, so sim results are byte-identical to the pre-context API.
 type Backend interface {
 	// Name identifies the backend in grid echoes, shard headers and
 	// error messages ("sim", "live").
@@ -61,14 +68,15 @@ type Backend interface {
 
 	// Measure returns the cell's placement environment: the full-mesh
 	// rate matrix plus per-VM CPU capacity. The sweep's environment
-	// cache calls it once per cell group.
-	Measure(c Cell) (*place.Environment, error)
+	// cache calls it once per cell group. A canceled context aborts a
+	// live mesh mid-pair.
+	Measure(ctx context.Context, c Cell) (*place.Environment, error)
 
 	// Execute returns the completion time of placement p of app on the
 	// cell's cloud under env: simulated byte transfer for sim (§6.1's
 	// "actually transferring data"), the predicted completion-time
 	// objective for live. model is the grid's rate model.
-	Execute(c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error)
+	Execute(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error)
 
 	// MeshEpoch tags the backend's current measurement epoch. Sim
 	// measurements are pure functions of the cell and always report 0;
@@ -78,5 +86,5 @@ type Backend interface {
 
 	// CheckCapacity reports whether the backend can measure cells of up
 	// to maxVMs slots (the live backend needs one agent per slot).
-	CheckCapacity(maxVMs int) error
+	CheckCapacity(ctx context.Context, maxVMs int) error
 }

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -98,7 +99,7 @@ func (l *Live) Name() string { return "live" }
 func (l *Live) MeshEpoch() int64 { return l.cfg.Epoch }
 
 // CheckCapacity verifies the fleet has one agent per VM slot.
-func (l *Live) CheckCapacity(maxVMs int) error {
+func (l *Live) CheckCapacity(ctx context.Context, maxVMs int) error {
 	if maxVMs > len(l.cfg.Agents) {
 		return fmt.Errorf("backend: grid sweeps up to %d VMs but only %d agents are configured (-agents)",
 			maxVMs, len(l.cfg.Agents))
@@ -126,14 +127,14 @@ func (l *Live) slots(c Cell) ([]string, error) {
 // Measure runs the full-mesh measurement — one packet train plus RTT
 // probe per ordered agent pair — and assembles the placement
 // environment from the observed rates.
-func (l *Live) Measure(c Cell) (*place.Environment, error) {
+func (l *Live) Measure(ctx context.Context, c Cell) (*place.Environment, error) {
 	addrs, err := l.slots(c)
 	if err != nil {
 		return nil, err
 	}
 	coord := cluster.NewCoordinator(addrs, l.cfg.Timeout)
 	l.mu.Lock()
-	mesh, err := coord.MeasureMesh(l.cfg.Train)
+	mesh, err := coord.MeasureMesh(ctx, l.cfg.Train)
 	l.mu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("backend: live mesh for cell %s/%d VMs seed %d: %w", c.Topology, c.VMs, c.Seed, err)
@@ -164,6 +165,6 @@ func (l *Live) Measure(c Cell) (*place.Environment, error) {
 // Execute evaluates the placement against the live measurement: the
 // predicted completion time of app under p on env — the Appendix
 // objective the greedy algorithm and the exact optimum both minimize.
-func (l *Live) Execute(c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error) {
+func (l *Live) Execute(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error) {
 	return place.CompletionTime(app, env, p, model)
 }

@@ -1,6 +1,7 @@
 package backend_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ func liveOverMesh(t *testing.T, agents int) (*backend.Live, *livetest.Mesh) {
 func TestLiveMeasureAssemblesEnvironment(t *testing.T) {
 	live, _ := liveOverMesh(t, 3)
 	cell := backend.Cell{Topology: "live-test", VMs: 3, Seed: 42}
-	env, err := live.Measure(cell)
+	env, err := live.Measure(context.Background(), cell)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestLiveExecutePredictsCompletion(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := &profile.Application{Name: "pair", CPU: []float64{1, 1}, TM: tm}
-	d, err := live.Execute(cell, app, env, place.Placement{MachineOf: []int{0, 1}}, place.Hose)
+	d, err := live.Execute(context.Background(), cell, app, env, place.Placement{MachineOf: []int{0, 1}}, place.Hose)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,13 +97,13 @@ func TestLiveExecutePredictsCompletion(t *testing.T) {
 // for one cell (Measure).
 func TestLiveCapacityChecks(t *testing.T) {
 	live, _ := liveOverMesh(t, 2)
-	if err := live.CheckCapacity(3); err == nil || !strings.Contains(err.Error(), "only 2 agents") {
+	if err := live.CheckCapacity(context.Background(), 3); err == nil || !strings.Contains(err.Error(), "only 2 agents") {
 		t.Errorf("CheckCapacity(3) = %v, want an only-2-agents error", err)
 	}
-	if err := live.CheckCapacity(2); err != nil {
+	if err := live.CheckCapacity(context.Background(), 2); err != nil {
 		t.Errorf("CheckCapacity(2) = %v, want nil", err)
 	}
-	if _, err := live.Measure(backend.Cell{Topology: "t", VMs: 5, Seed: 1}); err == nil {
+	if _, err := live.Measure(context.Background(), backend.Cell{Topology: "t", VMs: 5, Seed: 1}); err == nil {
 		t.Error("Measure with 5 VM slots on 2 agents succeeded")
 	}
 }

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -34,7 +35,7 @@ func (s *Sim) MeshEpoch() int64 { return 0 }
 // CheckCapacity always succeeds: the simulator allocates as many VMs as
 // the profile's hosts can carry, and per-cell allocation errors surface
 // from Measure with the cell's coordinates attached.
-func (s *Sim) CheckCapacity(maxVMs int) error { return nil }
+func (s *Sim) CheckCapacity(ctx context.Context, maxVMs int) error { return nil }
 
 // orchestrator rebuilds the cell's simulated cloud: provider fabric, VM
 // allocation and orchestrator, all derived from the cell seed exactly as
@@ -54,7 +55,7 @@ func (s *Sim) orchestrator(c Cell) (*core.Choreo, error) {
 
 // Measure builds the cell's cloud and runs the full-mesh packet-train
 // measurement on it.
-func (s *Sim) Measure(c Cell) (*place.Environment, error) {
+func (s *Sim) Measure(ctx context.Context, c Cell) (*place.Environment, error) {
 	orch, err := s.orchestrator(c)
 	if err != nil {
 		return nil, err
@@ -65,7 +66,7 @@ func (s *Sim) Measure(c Cell) (*place.Environment, error) {
 // Execute runs the placement on a freshly rebuilt cloud — one flow per
 // task-pair transfer, simulated until the last byte drains. env and
 // model are unused: the simulator is its own ground truth.
-func (s *Sim) Execute(c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error) {
+func (s *Sim) Execute(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error) {
 	orch, err := s.orchestrator(c)
 	if err != nil {
 		return 0, err

@@ -11,6 +11,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -466,7 +467,9 @@ func (g *Grid) Validate() error {
 			maxVMs = vms
 		}
 	}
-	return g.backend().CheckCapacity(maxVMs)
+	// Validation is a synchronous, one-shot check; capacity today is a
+	// local fleet-size comparison, so Background is the right context.
+	return g.backend().CheckCapacity(context.Background(), maxVMs)
 }
 
 // backend returns the grid's measurement backend, defaulting to the

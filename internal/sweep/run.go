@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -142,13 +143,13 @@ func (g *Grid) newOrchestrator(sc Scenario, seed int64) (*core.Choreo, error) {
 // application to place. This is the expensive, cacheable half of a
 // scenario — every algorithm of a cell group (and the optimal
 // reference) shares its output.
-func (g *Grid) buildCell(sc Scenario) (*envcache.Cell, error) {
+func (g *Grid) buildCell(ctx context.Context, sc Scenario) (*envcache.Cell, error) {
 	seed := sc.cloudSeed()
 	app, err := g.buildApplication(sc, seed)
 	if err != nil {
 		return nil, err
 	}
-	env, err := g.backend().Measure(g.backendCell(sc))
+	env, err := g.backend().Measure(ctx, g.backendCell(sc))
 	if err != nil {
 		return nil, fmt.Errorf("sweep: measuring %s: %w", sc.Topology.Name, err)
 	}
@@ -360,11 +361,11 @@ func (g *Grid) runSequenceScenario(sc Scenario, cache *envcache.Cache) (Result, 
 // optimal reference. Sequence cells dispatch to runSequenceScenario
 // instead. A nil cache builds every cell from scratch; for the sim
 // backend the result bytes are identical either way.
-func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
+func (g *Grid) runScenario(ctx context.Context, sc Scenario, cache *envcache.Cache) (Result, error) {
 	if g.Mode == Sequence {
 		return g.runSequenceScenario(sc, cache)
 	}
-	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildCell(sc) })
+	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildCell(ctx, sc) })
 	if err != nil {
 		return Result{}, err
 	}
@@ -376,7 +377,7 @@ func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
 		return Result{}, fmt.Errorf("sweep: placing %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
 	}
-	completion, err := g.backend().Execute(g.backendCell(sc), cell.App, cell.Env, p, g.Model)
+	completion, err := g.backend().Execute(ctx, g.backendCell(sc), cell.App, cell.Env, p, g.Model)
 	if err != nil {
 		return Result{}, fmt.Errorf("sweep: executing %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
@@ -403,7 +404,7 @@ func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
 			opt, computed = res.CompletionSeconds, true
 		} else {
 			opt, computed, err = cell.OptimalReference(func() (float64, bool, error) {
-				return g.computeReference(sc, cell)
+				return g.computeReference(ctx, sc, cell)
 			})
 			if err != nil {
 				return Result{}, err
@@ -438,7 +439,7 @@ func (g *Grid) runScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
 // whether a reference was computed at all (branch and bound can exhaust
 // its node budget). The value is a pure function of the cell, which is
 // what lets Cell.OptimalReference memoize it across the cell group.
-func (g *Grid) computeReference(sc Scenario, cell *envcache.Cell) (float64, bool, error) {
+func (g *Grid) computeReference(ctx context.Context, sc Scenario, cell *envcache.Cell) (float64, bool, error) {
 	p, err := place.Optimal(cell.App, cell.Env, g.Model, g.OptimalMaxNodes)
 	if errors.Is(err, place.ErrSearchBudget) {
 		// The search ran out of nodes: report no reference rather than
@@ -448,7 +449,7 @@ func (g *Grid) computeReference(sc Scenario, cell *envcache.Cell) (float64, bool
 	if err != nil {
 		return 0, false, err
 	}
-	completion, err := g.backend().Execute(g.backendCell(sc), cell.App, cell.Env, p, g.Model)
+	completion, err := g.backend().Execute(ctx, g.backendCell(sc), cell.App, cell.Env, p, g.Model)
 	if err != nil {
 		return 0, false, err
 	}
@@ -457,6 +458,11 @@ func (g *Grid) computeReference(sc Scenario, cell *envcache.Cell) (float64, bool
 
 // RunOptions configures a sweep execution.
 type RunOptions struct {
+	// Context, when non-nil, is threaded through every backend
+	// measurement and execution, so a caller embedding the sweep engine
+	// (or a long live run) can cancel in-flight mesh measurements. Nil
+	// means context.Background() — the one-shot CLI behaviour.
+	Context context.Context
 	// Workers is the pool size; <= 0 means GOMAXPROCS.
 	Workers int
 	// NoCache disables the environment cache: every scenario rebuilds
@@ -489,6 +495,10 @@ type RunOptions struct {
 // so streaming sweeps are bounded by disk long before memory. Returns
 // the grid echo, per-algorithm aggregates and cache counters.
 func RunStream(g Grid, opts RunOptions) (*Summary, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	scenarios, err := g.Expand()
 	if err != nil {
 		return nil, err
@@ -598,7 +608,7 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 			return nil
 		}
 		i := toRun[k]
-		r, err := g.runScenario(scenarios[i], cache)
+		r, err := g.runScenario(ctx, scenarios[i], cache)
 		if err != nil {
 			aborted.Store(true)
 			mu.Lock()
