@@ -21,6 +21,7 @@ import (
 	"choreo/internal/probe"
 	"choreo/internal/profile"
 	"choreo/internal/stats"
+	"choreo/internal/sweep"
 	"choreo/internal/topology"
 	"choreo/internal/units"
 	"choreo/internal/workload"
@@ -586,6 +587,28 @@ func BenchmarkMeasureMesh(b *testing.B) {
 		if _, err := orch.MeasureEnvironment(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepGrid runs the default snapshot grid (192 scenarios over
+// 64 unique cells) through the streaming engine on one worker — the
+// end-to-end sweep-throughput number the BENCH_*.json trajectory tracks.
+// The custom metric is grid cells per second of wall-clock.
+func BenchmarkSweepGrid(b *testing.B) {
+	cells := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := sweep.Default()
+		n := 0
+		opts := sweep.RunOptions{Workers: 1, Emit: func(sweep.Result) error { n++; return nil }}
+		if _, err := sweep.RunStream(g, opts); err != nil {
+			b.Fatal(err)
+		}
+		cells += n
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cells)/sec, "cells/sec")
 	}
 }
 

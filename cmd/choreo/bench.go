@@ -1,0 +1,231 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// runBench runs the repo's headline benchmarks through `go test -bench`
+// and writes a schema'd BENCH_*.json snapshot — the per-PR performance
+// trajectory the ROADMAP demands ("measured, not claimed"). With
+// -baseline it also gates: if a gated benchmark's ns/op regresses by
+// more than -max-regress versus the committed snapshot (or its
+// cells/sec throughput drops by more), the command fails, so CI catches
+// a perf regression the same way it catches a broken test.
+//
+// The file format (benchFile below) is versioned and self-describing:
+// ns/op, B/op, allocs/op and every custom `b.ReportMetric` unit per
+// benchmark, plus the host fingerprint the numbers were taken on.
+// Samples are aggregated with min for ns/op (the least-noise floor) and
+// max for throughput metrics — benchstat-style robust picks that make
+// run-to-run diffs meaningful on shared CI runners.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	benchRe := fs.String("bench", "BenchmarkMeasureMesh$|BenchmarkPacketTrain$|BenchmarkAllocate$|BenchmarkSweepGrid$",
+		"go test -bench regexp selecting the headline benchmarks")
+	pkg := fs.String("pkg", ".", "package to benchmark (go test package pattern)")
+	benchtime := fs.String("benchtime", "500ms", "per-benchmark measurement time (go test -benchtime)")
+	count := fs.Int("count", 3, "samples per benchmark (go test -count)")
+	id := fs.String("id", "", "snapshot label recorded in the file (e.g. pr7)")
+	outPath := fs.String("out", "-", "snapshot destination ('-' = stdout)")
+	baseline := fs.String("baseline", "", "prior snapshot to gate against (e.g. the committed BENCH_*.json)")
+	maxRegress := fs.Float64("max-regress", 0.2, "maximum tolerated relative regression vs -baseline (0.2 = 20%)")
+	gateList := fs.String("gate", "BenchmarkMeasureMesh,BenchmarkSweepGrid",
+		"comma-separated benchmarks the -baseline gate applies to (others are recorded but not gated)")
+	rawPath := fs.String("raw", "", "also save the raw `go test -bench` output here (for benchstat)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("bench: unexpected arguments %q", fs.Args())
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *benchRe,
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		"-benchmem", *pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("bench: go test: %w", err)
+	}
+	if *rawPath != "" {
+		if err := os.WriteFile(*rawPath, raw, 0o644); err != nil {
+			return err
+		}
+	}
+
+	file, err := parseBenchOutput(string(raw))
+	if err != nil {
+		return err
+	}
+	file.ID = *id
+	file.Benchtime = *benchtime
+	file.Count = *count
+
+	if *baseline != "" {
+		base, err := readBenchFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("bench: -baseline: %w", err)
+		}
+		if err := gateBench(base, file, splitList(*gateList), *maxRegress); err != nil {
+			return err
+		}
+	}
+
+	return writeTo(*outPath, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(file)
+	})
+}
+
+// benchFile is the BENCH_*.json schema, v1.
+type benchFile struct {
+	V          int                    `json:"v"`
+	ID         string                 `json:"id,omitempty"`
+	Goos       string                 `json:"goos"`
+	Goarch     string                 `json:"goarch"`
+	CPU        string                 `json:"cpu,omitempty"`
+	Benchtime  string                 `json:"benchtime"`
+	Count      int                    `json:"count"`
+	Benchmarks map[string]*benchEntry `json:"benchmarks"`
+}
+
+// benchEntry aggregates one benchmark's samples.
+type benchEntry struct {
+	NsPerOp     float64            `json:"nsPerOp"`               // min over samples
+	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`  // min over samples
+	AllocsPerOp float64            `json:"allocsPerOp,omitempty"` // min over samples
+	Metrics     map[string]float64 `json:"metrics,omitempty"`     // custom units, max over samples
+	Samples     int                `json:"samples"`
+}
+
+// benchLine matches one result line of `go test -bench` output:
+// name, iteration count, then (value, unit) pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parseBenchOutput(out string) (*benchFile, error) {
+	f := &benchFile{V: 1, Benchmarks: map[string]*benchEntry{}}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		e := f.Benchmarks[name]
+		if e == nil {
+			e = &benchEntry{}
+			f.Benchmarks[name] = e
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("bench: unparseable result line %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: bad value in %q: %w", line, err)
+			}
+			unit := fields[i+1]
+			switch unit {
+			case "ns/op":
+				if e.Samples == 0 || v < e.NsPerOp {
+					e.NsPerOp = v
+				}
+			case "B/op":
+				if e.Samples == 0 || v < e.BytesPerOp {
+					e.BytesPerOp = v
+				}
+			case "allocs/op":
+				if e.Samples == 0 || v < e.AllocsPerOp {
+					e.AllocsPerOp = v
+				}
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				if v > e.Metrics[unit] {
+					e.Metrics[unit] = v
+				}
+			}
+		}
+		e.Samples++
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench: no benchmark results in go test output")
+	}
+	return f, nil
+}
+
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	if f.V != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema version %d", path, f.V)
+	}
+	return &f, nil
+}
+
+// gateBench compares the gated benchmarks against a baseline snapshot:
+// ns/op may not grow, and any shared throughput metric (a unit ending
+// in "/sec") may not shrink, by more than maxRegress. Benchmarks absent
+// from either side are skipped — a renamed or new benchmark is not a
+// regression — but gating against a baseline that shares *no* gated
+// benchmark is an error, since that silently gates nothing.
+func gateBench(base, cur *benchFile, gate []string, maxRegress float64) error {
+	var failures []string
+	compared := 0
+	for _, name := range gate {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		if b == nil || c == nil {
+			continue
+		}
+		compared++
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%)",
+				name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1)))
+		}
+		for unit, bv := range b.Metrics {
+			if !strings.HasSuffix(unit, "/sec") || bv <= 0 {
+				continue
+			}
+			if cv, ok := c.Metrics[unit]; ok && cv < bv*(1-maxRegress) {
+				failures = append(failures, fmt.Sprintf("%s: %.1f %s vs baseline %.1f (-%.0f%%)",
+					name, cv, unit, bv, 100*(1-cv/bv)))
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("bench: baseline shares no gated benchmark with this run (gate: %s)", strings.Join(gate, ","))
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		return fmt.Errorf("bench: regression beyond %.0f%% tolerance:\n  %s",
+			100*maxRegress, strings.Join(failures, "\n  "))
+	}
+	return nil
+}

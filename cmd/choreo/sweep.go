@@ -46,7 +46,7 @@ import (
 // so a simulated and a live run of the same grid diff line for line —
 // but the grid echo carries the backend, so the two can never be
 // merged or resumed into each other.
-func runSweep(args []string) error {
+func runSweep(args []string) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	mode := fs.String("mode", "snapshot", "cell mode: snapshot (§6.2 single placements) or sequence (§6.3 in-sequence arrivals + migration)")
 	topologies := fs.String("topologies", "ec2-2013,rackspace,fattree-4,jellyfish-12", "comma-separated provider profiles (see -list)")
@@ -79,6 +79,7 @@ func runSweep(args []string) error {
 	cache := fs.Bool("cache", true, "share one built-and-measured cloud across each cell's algorithms and optimal reference")
 	cacheStats := fs.Bool("cache-stats", false, "print environment-cache hit/miss counters to stderr")
 	list := fs.Bool("list", false, "list valid topologies, workloads and algorithms, then exit")
+	prof := registerProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +90,15 @@ func runSweep(args []string) error {
 		printGridHelp(os.Stdout)
 		return nil
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := stopProf(); e != nil && err == nil {
+			err = e
+		}
+	}()
 
 	g := sweep.Grid{
 		Apps:            *apps,
@@ -98,7 +108,6 @@ func runSweep(args []string) error {
 		Timing:          *timing,
 	}
 	set := visited(fs)
-	var err error
 	switch *mode {
 	case "snapshot":
 		// A sequence-only flag on a snapshot sweep would be silently
@@ -263,10 +272,12 @@ func runSweep(args []string) error {
 		return streamSweep(g, opts, *outPath, *cacheStats)
 	}
 
+	start := time.Now()
 	rep, err := sweep.RunCollect(g, opts)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	if err := writeTo(*outPath, rep.WriteJSON); err != nil {
 		return err
 	}
@@ -277,10 +288,22 @@ func runSweep(args []string) error {
 	}
 	// Human summary on stderr so stdout stays machine-parseable.
 	fmt.Fprint(os.Stderr, rep.String())
+	printThroughput(len(rep.Scenarios), elapsed)
 	if *cacheStats {
 		printCacheStats(rep.Cache)
 	}
 	return nil
+}
+
+// printThroughput reports sweep throughput in the same cells/sec unit
+// BenchmarkSweepGrid records into the BENCH_*.json trajectory, so a
+// smoke run and the committed benchmark baseline compare directly. It
+// goes to stderr: wall-clock is nondeterministic, report bytes are not.
+func printThroughput(cells int, elapsed time.Duration) {
+	if sec := elapsed.Seconds(); sec > 0 && cells > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells in %s (%.1f cells/sec)\n",
+			cells, elapsed.Round(time.Millisecond), float64(cells)/sec)
+	}
 }
 
 // streamSweep runs the grid through the incremental JSON-lines pipeline:
@@ -296,15 +319,22 @@ func streamSweep(g sweep.Grid, opts sweep.RunOptions, dest string, cacheStats bo
 		if err := sw.Header(hdr); err != nil {
 			return err
 		}
-		opts.Emit = sw.Result
+		cells := 0
+		opts.Emit = func(r sweep.Result) error {
+			cells++
+			return sw.Result(r)
+		}
+		start := time.Now()
 		sum, err := sweep.RunStream(g, opts)
 		if err != nil {
 			return err
 		}
+		elapsed := time.Since(start)
 		if err := sw.Finish(sum.Algorithms); err != nil {
 			return err
 		}
 		fmt.Fprint(os.Stderr, sum.String())
+		printThroughput(cells, elapsed)
 		if cacheStats {
 			printCacheStats(sum.Cache)
 		}

@@ -120,14 +120,18 @@ func (c *Choreo) MeasureEnvironment() (*place.Environment, error) {
 		env.Rates[i] = make([]units.Rate, n)
 		env.CPUCap[i] = c.opts.CPUPerVM
 	}
-	var states map[[2]topology.VMID]packetsim.PathState
+	// PairStates returns path states in exactly this loop's pair order
+	// (sources outer, destinations inner), so the trains consume the
+	// slice sequentially — no per-pair map lookup on the hot path.
+	var states []packetsim.PairState
 	if !c.opts.UseIdealMeasurement {
 		var err error
-		states, err = c.medium.StatesOf(c.vms)
+		states, err = c.medium.PairStates(c.vms)
 		if err != nil {
 			return nil, err
 		}
 	}
+	next := 0
 	memBus := c.net.Provider().Profile.MemBusRate
 	for i, a := range c.vms {
 		env.Rates[i][i] = memBus
@@ -143,7 +147,10 @@ func (c *Choreo) MeasureEnvironment() (*place.Environment, error) {
 				}
 				est = r
 			} else {
-				obs, err := c.medium.RunTrainOn(states[[2]topology.VMID{a.ID, b.ID}], c.opts.TrainConfig)
+				// Scratch variant: the observation is dead once the
+				// estimator has read it, so the burst buffer is reused.
+				obs, err := c.medium.RunTrainOnScratch(&states[next].State, c.opts.TrainConfig)
+				next++
 				if err != nil {
 					return nil, err
 				}

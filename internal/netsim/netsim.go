@@ -142,6 +142,74 @@ type Network struct {
 	slotEpoch int64
 	touched   []int32
 	frozen    []bool
+
+	// Per-pair probe ingredients, all static for the network's lifetime
+	// (routes are deterministic and capacities are cached at slot
+	// registration): one lookup replaces a path derivation, a constraint
+	// walk with one slotIndex map access per key, and — for uncontended
+	// availability reads — the whole capacity scan.
+	pairCache map[[2]topology.VMID]*pairInfo
+}
+
+// pairInfo caches what every flow or probe between one ordered VM pair
+// reuses verbatim: the route, its constraint keys and slots (flows only
+// ever re-slice these, never write them), and the pair's availability on
+// an uncontended path, which is a pure function of static capacities.
+type pairInfo struct {
+	path  *topology.Path
+	keys  []constraintKey
+	slots []int32
+	idle  PathAvailability
+}
+
+// pairInfoFor returns the cached per-pair probe ingredients, building
+// them on first use.
+func (n *Network) pairInfoFor(src, dst topology.VMID) (*pairInfo, error) {
+	key := [2]topology.VMID{src, dst}
+	if pi, ok := n.pairCache[key]; ok {
+		return pi, nil
+	}
+	path, err := n.prov.Path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	keys := n.constraintsFor(path)
+	pi := &pairInfo{path: path, keys: keys, slots: n.slotsFor(keys)}
+	if path.SameHost {
+		bus := pi.slots[0] // the memory-bus constraint
+		pi.idle = PathAvailability{
+			Share:         units.Rate(n.slotCap[bus]),
+			PhysicalShare: units.Rate(n.slotCap[bus]),
+			LineRate:      n.prov.Profile.MemBusRate,
+		}
+	} else {
+		// Hose first, then physical links (constraintsFor's order).
+		share := math.Inf(1)
+		for _, si := range pi.slots {
+			if c := n.slotCap[si]; c < share {
+				share = c
+			}
+		}
+		phys := math.Inf(1)
+		for _, si := range pi.slots[1:] {
+			if c := n.slotCap[si]; c < phys {
+				phys = c
+			}
+		}
+		line := math.Inf(1)
+		for _, l := range path.Links {
+			if c := float64(n.prov.Topo.Links[l].Capacity); c < line {
+				line = c
+			}
+		}
+		pi.idle = PathAvailability{
+			Share:         units.Rate(share),
+			PhysicalShare: units.Rate(phys),
+			LineRate:      units.Rate(line),
+		}
+	}
+	n.pairCache[key] = pi
+	return pi, nil
 }
 
 // New creates a simulator over the provider's fabric and VMs.
@@ -150,6 +218,7 @@ func New(prov *topology.Provider) *Network {
 		prov:      prov,
 		flows:     make(map[FlowID]*Flow),
 		slotIndex: make(map[constraintKey]int32),
+		pairCache: make(map[[2]topology.VMID]*pairInfo),
 	}
 }
 
@@ -169,7 +238,7 @@ func (n *Network) StartFlow(src, dst topology.VMID, size units.ByteSize, tag str
 	if src == dst {
 		return nil, fmt.Errorf("netsim: flow from %d to itself", src)
 	}
-	path, err := n.prov.Path(src, dst)
+	pi, err := n.pairInfoFor(src, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +247,7 @@ func (n *Network) StartFlow(src, dst topology.VMID, size units.ByteSize, tag str
 		Src:      src,
 		Dst:      dst,
 		Tag:      tag,
-		Path:     path,
+		Path:     pi.path,
 		started:  n.now,
 		onFinish: onFinish,
 	}
@@ -188,8 +257,8 @@ func (n *Network) StartFlow(src, dst topology.VMID, size units.ByteSize, tag str
 	} else {
 		f.remaining = float64(size)
 	}
-	f.keys = n.constraintsFor(path)
-	f.slots = n.slotsFor(f.keys)
+	f.keys = pi.keys
+	f.slots = pi.slots
 	n.flows[f.ID] = f
 	n.active = append(n.active, f)
 	n.dirty = true
@@ -583,7 +652,7 @@ type PathAvailability struct {
 // Availability computes the three-way decomposition above without
 // disturbing existing flows.
 func (n *Network) Availability(src, dst topology.VMID) (PathAvailability, error) {
-	path, err := n.prov.Path(src, dst)
+	pi, err := n.pairInfoFor(src, dst)
 	if err != nil {
 		return PathAvailability{}, err
 	}
@@ -593,20 +662,14 @@ func (n *Network) Availability(src, dst topology.VMID) (PathAvailability, error)
 	}
 	av := PathAvailability{Share: full}
 
-	if path.SameHost {
+	if pi.path.SameHost {
 		av.PhysicalShare = full
 		av.LineRate = n.prov.Profile.MemBusRate
 		return av, nil
 	}
 
 	// Raw line rate: the smallest capacity along the physical links.
-	line := math.Inf(1)
-	for _, l := range path.Links {
-		if c := float64(n.prov.Topo.Links[l].Capacity); c < line {
-			line = c
-		}
-	}
-	av.LineRate = units.Rate(line)
+	av.LineRate = pi.idle.LineRate
 
 	// Physical-only share: allocate with a probe flow whose constraint set
 	// omits the source hose.
@@ -634,9 +697,55 @@ func (n *Network) Availability(src, dst topology.VMID) (PathAvailability, error)
 // shares are read directly off the cached constraint capacities, which
 // is exactly what progressive filling computes for a lone flow
 // (bestShare = capacity/1, an exact float identity), so results are
-// bit-identical to per-pair Availability calls. Contended pairs fall
-// back to the allocator probe unchanged.
+// bit-identical to per-pair Availability calls.
+//
+// Contended pairs are batched too, by contention territory: slots that
+// appear in a common active flow are unioned, and a probe's territory
+// is the set of union roots its slots land in. Probes whose territories
+// are pairwise disjoint cannot influence each other through progressive
+// filling — freezing a flow only mutates slots in its own component —
+// so one allocate() pass over a whole group yields each member the
+// bit-identical rate a lone probe would get (the within-component
+// sequence of freeze events, and hence every float subtraction, is
+// unchanged; concurrent probes only interleave *other* components'
+// events between them). Each group costs two allocator passes (share
+// probes, then hose-less physical probes) plus one shared restore pass,
+// instead of four passes per pair.
 func (n *Network) BatchAvailability(pairs [][2]topology.VMID) ([]PathAvailability, error) {
+	refs := make([]PairRef, len(pairs))
+	for i, pr := range pairs {
+		pi, err := n.pairInfoFor(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = pi
+	}
+	out := make([]PathAvailability, len(pairs))
+	if err := n.BatchAvailabilityRefs(pairs, refs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PairRef is an opaque resolved handle for one ordered VM pair's probe
+// ingredients. Callers that batch-probe the same mesh every epoch resolve
+// each pair once with PairRefFor and pass the refs to
+// BatchAvailabilityRefs, skipping the per-pair cache lookups that
+// BatchAvailability repeats on every call. Refs stay valid for the
+// network's lifetime (routes and constraint capacities are static).
+type PairRef = *pairInfo
+
+// PairRefFor resolves src→dst to its reusable probe handle.
+func (n *Network) PairRefFor(src, dst topology.VMID) (PairRef, error) {
+	return n.pairInfoFor(src, dst)
+}
+
+// BatchAvailabilityRefs is BatchAvailability over pre-resolved pair
+// handles, writing into a caller-owned buffer: out[i] receives the
+// availability for pairs[i] (refs[i] must be PairRefFor of pairs[i]).
+// pairs is still needed because contended probes start real allocator
+// flows, which are addressed by VM ID.
+func (n *Network) BatchAvailabilityRefs(pairs [][2]topology.VMID, refs []PairRef, out []PathAvailability) error {
 	// Slots held by the active set: a probe touching any of them needs
 	// the real allocator.
 	var busy map[int32]bool
@@ -648,63 +757,181 @@ func (n *Network) BatchAvailability(pairs [][2]topology.VMID) ([]PathAvailabilit
 			}
 		}
 	}
-	out := make([]PathAvailability, len(pairs))
-	for i, pr := range pairs {
-		path, err := n.prov.Path(pr[0], pr[1])
-		if err != nil {
-			return nil, err
-		}
-		slots := n.slotsFor(n.constraintsFor(path))
+	var contendedProbes []batchProbe
+	for i, pi := range refs {
 		contended := false
-		for _, si := range slots {
+		for _, si := range pi.slots {
 			if busy[si] {
 				contended = true
 				break
 			}
 		}
 		if contended {
-			av, err := n.Availability(pr[0], pr[1])
-			if err != nil {
-				return nil, err
-			}
-			out[i] = av
+			contendedProbes = append(contendedProbes, batchProbe{idx: i, path: pi.path, slots: pi.slots})
 			continue
 		}
-		if path.SameHost {
-			bus := n.slotCap[slots[0]] // the memory-bus constraint
-			out[i] = PathAvailability{
-				Share:         units.Rate(bus),
-				PhysicalShare: units.Rate(bus),
-				LineRate:      n.prov.Profile.MemBusRate,
-			}
-			continue
+		out[i] = pi.idle
+	}
+	if len(contendedProbes) > 0 {
+		return n.contendedAvailability(pairs, contendedProbes, out)
+	}
+	return nil
+}
+
+// batchProbe is one contended pair awaiting a grouped allocator probe.
+type batchProbe struct {
+	idx   int // index into the pairs / out slices
+	path  *topology.Path
+	slots []int32
+	roots []int32 // union roots of slots — the probe's contention territory
+}
+
+// contendedAvailability resolves the contended pairs of a
+// BatchAvailability call with grouped allocator probes (see the method
+// comment there for the equivalence argument).
+func (n *Network) contendedAvailability(pairs [][2]topology.VMID, probes []batchProbe, out []PathAvailability) error {
+	// Union-find over constraint slots: slots sharing an active flow are
+	// merged, so a root identifies one component of mutually-influencing
+	// constraints. Every probe slot is already registered (slotsFor ran
+	// for all pairs), so the parent array covers them.
+	parent := make([]int32, len(n.slotCap))
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
 		}
-		// Hose first, then physical links (constraintsFor's order).
-		share := math.Inf(1)
-		for _, si := range slots {
-			if c := n.slotCap[si]; c < share {
-				share = c
+		return x
+	}
+	for _, f := range n.active {
+		for _, si := range f.slots[1:] {
+			ra, rb := find(f.slots[0]), find(si)
+			if ra != rb {
+				parent[rb] = ra
 			}
-		}
-		phys := math.Inf(1)
-		for _, si := range slots[1:] {
-			if c := n.slotCap[si]; c < phys {
-				phys = c
-			}
-		}
-		line := math.Inf(1)
-		for _, l := range path.Links {
-			if c := float64(n.prov.Topo.Links[l].Capacity); c < line {
-				line = c
-			}
-		}
-		out[i] = PathAvailability{
-			Share:         units.Rate(share),
-			PhysicalShare: units.Rate(phys),
-			LineRate:      units.Rate(line),
 		}
 	}
-	return out, nil
+	for pi := range probes {
+		p := &probes[pi]
+		p.roots = p.roots[:0]
+		for _, si := range p.slots {
+			r := find(si)
+			dup := false
+			for _, have := range p.roots {
+				if have == r {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				p.roots = append(p.roots, r)
+			}
+		}
+	}
+
+	// Greedy first-fit grouping: probes go into the first group whose
+	// members' territories they don't intersect. Deterministic (input
+	// order), and on typical meshes — a few flows pinning a few
+	// components — most probes share a territory and group sizes stay
+	// small, while sparse contention collapses to one group.
+	type group struct {
+		members []int // indices into probes
+		roots   map[int32]bool
+	}
+	var groups []*group
+assign:
+	for pi := range probes {
+		for _, g := range groups {
+			clash := false
+			for _, r := range probes[pi].roots {
+				if g.roots[r] {
+					clash = true
+					break
+				}
+			}
+			if !clash {
+				g.members = append(g.members, pi)
+				for _, r := range probes[pi].roots {
+					g.roots[r] = true
+				}
+				continue assign
+			}
+		}
+		g := &group{members: []int{pi}, roots: make(map[int32]bool, len(probes[pi].roots))}
+		for _, r := range probes[pi].roots {
+			g.roots[r] = true
+		}
+		groups = append(groups, g)
+	}
+
+	flows := make([]*Flow, 0, len(probes))
+	for _, g := range groups {
+		// Share phase: one backlogged probe per member, one allocation.
+		flows = flows[:0]
+		for _, pi := range g.members {
+			pr := pairs[probes[pi].idx]
+			f, err := n.StartFlow(pr[0], pr[1], Backlogged, "probe", nil)
+			if err != nil {
+				return err
+			}
+			flows = append(flows, f)
+		}
+		n.allocate()
+		for i, pi := range g.members {
+			p := &probes[pi]
+			av := PathAvailability{Share: flows[i].Rate}
+			if p.path.SameHost {
+				av.PhysicalShare = av.Share
+				av.LineRate = n.prov.Profile.MemBusRate
+			}
+			out[p.idx] = av
+			n.StopFlow(flows[i].ID)
+		}
+
+		// Physical phase: hose-less probes for the non-colocated members.
+		flows = flows[:0]
+		for _, pi := range g.members {
+			p := &probes[pi]
+			if p.path.SameHost {
+				continue
+			}
+			pr := pairs[p.idx]
+			f, err := n.StartFlow(pr[0], pr[1], Backlogged, "probe-phys", nil)
+			if err != nil {
+				return err
+			}
+			f.keys = f.keys[1:] // drop the hose constraint (always first)
+			f.slots = f.slots[1:]
+			flows = append(flows, f)
+		}
+		n.dirty = true
+		n.allocate()
+		fi := 0
+		for _, pi := range g.members {
+			p := &probes[pi]
+			if p.path.SameHost {
+				continue
+			}
+			out[p.idx].PhysicalShare = flows[fi].Rate
+			line := math.Inf(1)
+			for _, l := range p.path.Links {
+				if c := float64(n.prov.Topo.Links[l].Capacity); c < line {
+					line = c
+				}
+			}
+			out[p.idx].LineRate = units.Rate(line)
+			n.StopFlow(flows[fi].ID)
+			fi++
+		}
+	}
+	// One restore pass for the whole batch: allocate() recomputes from
+	// scratch, so the active flows end on exactly the rates the per-pair
+	// probe sequence would have left them.
+	n.allocate()
+	return nil
 }
 
 // RunUntil advances the simulation until pred() reports true or maxTime

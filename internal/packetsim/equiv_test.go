@@ -1,0 +1,228 @@
+package packetsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"choreo/internal/probe"
+	"choreo/internal/units"
+)
+
+// simulateTrainReference is the original burst-by-burst implementation of
+// SimulateTrain, kept verbatim as the behavioural oracle for the
+// closed-form fast path. Every arithmetic expression below must stay
+// byte-for-byte what shipped before the kernel cache existed: the
+// equivalence suite asserts the production path reproduces its
+// observations — and its rng draw sequence — bit for bit.
+func simulateTrainReference(state PathState, cfg probe.Config, rng *rand.Rand) probe.Observation {
+	obs := probe.Observation{Config: cfg, RTT: state.RTT}
+
+	epoch := 1.0
+	if state.EpochNoiseStd > 0 {
+		epoch = 1 + rng.NormFloat64()*state.EpochNoiseStd
+		epoch = math.Max(epoch, 0.3)
+	}
+
+	line := float64(state.LineRate) / 8 // bytes/sec
+	hoseRate := float64(state.HoseRate) / 8 * epoch
+	svc := float64(state.PhysicalShare) / 8 * epoch
+	if svc > line {
+		svc = line
+	}
+	if svc <= 0 {
+		svc = 1 // pathological; keep the math finite
+	}
+	if hoseRate >= line {
+		hoseRate = line
+	}
+
+	pkt := float64(cfg.PacketSize)
+	burstBytes := pkt * float64(cfg.BurstLength)
+	tokens := float64(state.HoseBurst)
+	bucket := float64(state.HoseBurst)
+
+	for i := 0; i < cfg.Bursts; i++ {
+		var sendTime float64 // seconds for the burst to clear the shaper
+		if state.SameHost || hoseRate >= line {
+			// No effective shaping.
+			sendTime = burstBytes / line
+		} else {
+			// Phase A: tokens drain at (line - hoseRate) while sending at
+			// line rate. Phase B: send at the hose's sustained rate.
+			fastBytes := burstBytes
+			if tokens < burstBytes {
+				fastBytes = tokens * line / (line - hoseRate)
+				if fastBytes > burstBytes {
+					fastBytes = burstBytes
+				}
+			}
+			slowBytes := burstBytes - fastBytes
+			sendTime = fastBytes/line + slowBytes/hoseRate
+			tokens = tokens - burstBytes + hoseRate*sendTime
+			if tokens < 0 {
+				tokens = 0
+			}
+		}
+
+		arrivalRate := burstBytes / sendTime
+		lostPkts, tailLost := 0, 0
+		deliveredBytes := burstBytes
+		if arrivalRate > svc {
+			backlog := burstBytes * (1 - svc/arrivalRate)
+			if overflow := backlog - float64(state.QueueCapacity); overflow > 0 {
+				lostPkts = int(overflow / pkt)
+				if lostPkts >= cfg.BurstLength {
+					lostPkts = cfg.BurstLength - 1
+				}
+				deliveredBytes = burstBytes - float64(lostPkts)*pkt
+				if pDrop := 1 - svc/arrivalRate; rng.Float64() < pDrop && lostPkts > 0 {
+					tailLost = 1 + rng.Intn(3)
+					if tailLost > lostPkts {
+						tailLost = lostPkts
+					}
+				}
+			}
+		}
+
+		recvTime := math.Max(sendTime, deliveredBytes/svc)
+		if tailLost > 0 {
+			recvTime -= float64(tailLost) * pkt / svc
+		}
+
+		if state.BurstJitter > 0 {
+			recvTime += rng.NormFloat64() * state.BurstJitter.Seconds() * math.Sqrt2
+			minSpan := deliveredBytes / line
+			if recvTime < minSpan {
+				recvTime = minSpan
+			}
+		}
+
+		received := cfg.BurstLength - lostPkts
+		obs.Bursts = append(obs.Bursts, probe.BurstObservation{
+			Sent:     cfg.BurstLength,
+			Received: received,
+			TailLost: tailLost,
+			Span:     units.Seconds(recvTime),
+		})
+
+		tokens += hoseRate * cfg.Gap.Seconds()
+		if tokens > bucket {
+			tokens = bucket
+		}
+	}
+	return obs
+}
+
+// assertTrainEquivalent runs the closed-form path and the reference on
+// identically seeded rngs and requires bit-identical observations AND an
+// identical rng cursor afterwards (witnessed by the next three draws —
+// if the fast path consumed one draw more or fewer, the streams diverge
+// immediately).
+func assertTrainEquivalent(t *testing.T, name string, state PathState, cfg probe.Config, seed int64) {
+	t.Helper()
+	rngFast := rand.New(rand.NewSource(seed))
+	rngRef := rand.New(rand.NewSource(seed))
+
+	got := SimulateTrain(state, cfg, rngFast)
+	want := simulateTrainReference(state, cfg, rngRef)
+
+	if got.RTT != want.RTT || got.Config != want.Config {
+		t.Fatalf("%s: header mismatch: got {rtt %v cfg %+v} want {rtt %v cfg %+v}",
+			name, got.RTT, got.Config, want.RTT, want.Config)
+	}
+	if len(got.Bursts) != len(want.Bursts) {
+		t.Fatalf("%s: burst count %d != %d", name, len(got.Bursts), len(want.Bursts))
+	}
+	for i := range got.Bursts {
+		g, w := got.Bursts[i], want.Bursts[i]
+		if g != w {
+			t.Fatalf("%s: burst %d differs:\n  got  %+v (span bits %x)\n  want %+v (span bits %x)",
+				name, i, g, math.Float64bits(float64(g.Span)), w, math.Float64bits(float64(w.Span)))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if f, r := rngFast.Float64(), rngRef.Float64(); f != r {
+			t.Fatalf("%s: rng cursor diverged after train (draw %d: %v != %v)", name, i, f, r)
+		}
+	}
+}
+
+// TestSimulateTrainMatchesReferenceCorpus pins the named edge cases the
+// closed-form path must not disturb: clean paths, loss, jitter,
+// same-host, a bucket smaller than one burst, and zero-noise paths where
+// the epoch draw is skipped entirely.
+func TestSimulateTrainMatchesReferenceCorpus(t *testing.T) {
+	congested := ec2State(true)
+	congested.PhysicalShare = units.Mbps(400) // slower than the hose: queue overflows
+	congested.QueueCapacity = 24 * units.Kilobyte
+
+	bigBucket := ec2State(true)
+	bigBucket.HoseBurst = 4 * units.Megabyte // Rackspace-style: bursts pass at line rate
+
+	tinyBucket := ec2State(true)
+	tinyBucket.HoseBurst = 2 * units.Kilobyte // bucket smaller than one packet's worth of headroom
+
+	sameHost := ec2State(true)
+	sameHost.SameHost = true
+
+	quiet := ec2State(false) // no epoch noise, no jitter: fully deterministic
+
+	longTrain := ec2State(true)
+
+	cases := []struct {
+		name  string
+		state PathState
+		cfg   probe.Config
+	}{
+		{"ec2-default", ec2State(true), probe.DefaultEC2()},
+		{"congested-loss", congested, probe.DefaultEC2()},
+		{"big-bucket", bigBucket, probe.DefaultEC2()},
+		{"tiny-bucket", tinyBucket, probe.DefaultEC2()},
+		{"same-host", sameHost, probe.DefaultEC2()},
+		{"quiet-path", quiet, probe.DefaultEC2()},
+		{"long-train", longTrain, probe.Config{Bursts: 200, BurstLength: 2000, PacketSize: 1472, Gap: time.Millisecond}},
+		{"single-burst", ec2State(true), probe.Config{Bursts: 1, BurstLength: 50, PacketSize: 512, Gap: time.Millisecond}},
+	}
+	for _, tc := range cases {
+		for seed := int64(1); seed <= 20; seed++ {
+			assertTrainEquivalent(t, tc.name, tc.state, tc.cfg, seed)
+		}
+	}
+}
+
+// TestSimulateTrainMatchesReferenceFuzz sweeps randomized path states and
+// probe configs across the whole parameter envelope — loss and lossless,
+// jittered and quiet, shaped and same-host, buckets from smaller than a
+// packet to larger than the train — asserting bit-identical observations
+// and rng cursors on every draw.
+func TestSimulateTrainMatchesReferenceFuzz(t *testing.T) {
+	gen := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		lineMbps := 100 + gen.Float64()*9900
+		state := PathState{
+			SustainedShare: units.Mbps(10 + gen.Float64()*lineMbps),
+			PhysicalShare:  units.Mbps(10 + gen.Float64()*lineMbps),
+			LineRate:       units.Mbps(lineMbps),
+			HoseRate:       units.Mbps(10 + gen.Float64()*lineMbps*1.1), // sometimes >= line
+			HoseBurst:      units.ByteSize(1 + gen.Intn(4<<20)),         // 1 B .. 4 MB
+			RTT:            time.Duration(gen.Intn(5_000_000)),
+			QueueCapacity:  units.ByteSize(gen.Intn(512 << 10)),
+			SameHost:       gen.Intn(8) == 0,
+		}
+		if gen.Intn(3) != 0 {
+			state.EpochNoiseStd = gen.Float64() * 0.4
+		}
+		if gen.Intn(3) != 0 {
+			state.BurstJitter = time.Duration(gen.Intn(300_000))
+		}
+		cfg := probe.Config{
+			Bursts:      1 + gen.Intn(40),
+			BurstLength: 2 + gen.Intn(2500),
+			PacketSize:  units.ByteSize(64 + gen.Intn(1440)),
+			Gap:         time.Duration(gen.Intn(3_000_000)),
+		}
+		assertTrainEquivalent(t, "fuzz", state, cfg, gen.Int63())
+	}
+}

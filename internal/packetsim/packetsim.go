@@ -58,11 +58,37 @@ type PathState struct {
 type Medium struct {
 	net *netsim.Network
 	rng *rand.Rand
+	// tmpl caches the static part of each pair's PathState — route RTT,
+	// hose parameters, provider noise profile — which mesh measurement
+	// re-derives for every pair on every epoch otherwise. Availability
+	// fields are filled per snapshot.
+	tmpl map[[2]topology.VMID]*PathState
+	// plan caches PairStates' pair list and state templates for the last
+	// VM set measured: mesh re-measurement sweeps the same VMs every
+	// epoch, so after the first epoch a snapshot is one batched
+	// availability call plus a template copy per pair.
+	plan *meshPlan
+	// scratch backs RunTrainOnScratch observations; validCfg is the last
+	// train config that passed validation there.
+	scratch  []probe.BurstObservation
+	validCfg probe.Config
+}
+
+// meshPlan is the cached skeleton of a PairStates snapshot, plus the
+// reusable buffers a snapshot fills: resolved pair handles, the
+// availability scratch, and the PairState slice handed to callers.
+type meshPlan struct {
+	ids    []topology.VMID
+	pairs  [][2]topology.VMID
+	tmpl   []PathState // static fields only; availability fields zero
+	refs   []netsim.PairRef
+	avs    []netsim.PathAvailability
+	states []PairState
 }
 
 // NewMedium wraps a network; rng drives the measurement noise.
 func NewMedium(net *netsim.Network, rng *rand.Rand) *Medium {
-	return &Medium{net: net, rng: rng}
+	return &Medium{net: net, rng: rng, tmpl: make(map[[2]topology.VMID]*PathState)}
 }
 
 // StateOf snapshots the path between two VMs right now.
@@ -74,26 +100,34 @@ func (m *Medium) StateOf(src, dst topology.VMID) (PathState, error) {
 	return m.stateFrom(src, dst, av)
 }
 
-// stateFrom assembles a PathState from a precomputed availability.
+// stateFrom assembles a PathState from a precomputed availability and
+// the pair's cached static template.
 func (m *Medium) stateFrom(src, dst topology.VMID, av netsim.PathAvailability) (PathState, error) {
-	path, err := m.net.Provider().Path(src, dst)
-	if err != nil {
-		return PathState{}, err
+	key := [2]topology.VMID{src, dst}
+	t, ok := m.tmpl[key]
+	if !ok {
+		path, err := m.net.Provider().Path(src, dst)
+		if err != nil {
+			return PathState{}, err
+		}
+		vm := m.net.Provider().VM(src)
+		prof := m.net.Provider().Profile
+		t = &PathState{
+			HoseRate:      vm.EgressRate,
+			HoseBurst:     vm.EgressBurst,
+			RTT:           path.RTT,
+			QueueCapacity: prof.QueueCapacity,
+			EpochNoiseStd: prof.EpochNoiseStd,
+			BurstJitter:   prof.BurstJitter,
+			SameHost:      path.SameHost,
+		}
+		m.tmpl[key] = t
 	}
-	vm := m.net.Provider().VM(src)
-	prof := m.net.Provider().Profile
-	return PathState{
-		SustainedShare: av.Share,
-		PhysicalShare:  av.PhysicalShare,
-		LineRate:       av.LineRate,
-		HoseRate:       vm.EgressRate,
-		HoseBurst:      vm.EgressBurst,
-		RTT:            path.RTT,
-		QueueCapacity:  prof.QueueCapacity,
-		EpochNoiseStd:  prof.EpochNoiseStd,
-		BurstJitter:    prof.BurstJitter,
-		SameHost:       path.SameHost,
-	}, nil
+	st := *t
+	st.SustainedShare = av.Share
+	st.PhysicalShare = av.PhysicalShare
+	st.LineRate = av.LineRate
+	return st, nil
 }
 
 // StatesOf snapshots every ordered pair among vms in one pass, batching
@@ -127,6 +161,92 @@ func (m *Medium) StatesOf(vms []topology.VM) (map[[2]topology.VMID]PathState, er
 	return states, nil
 }
 
+// PairState couples an ordered VM pair with its snapshotted path state.
+type PairState struct {
+	Pair  [2]topology.VMID
+	State PathState
+}
+
+// PairStates is StatesOf without the map: it snapshots every ordered
+// pair among vms in mesh-measurement order (outer loop over sources,
+// inner over destinations) and returns them as a slice. Mesh loops that
+// visit pairs in exactly that order — MeasureMesh, the orchestrator's
+// MeasureEnvironment — iterate the slice directly instead of hashing a
+// [2]VMID key per train, which is a measurable slice of the measurement
+// hot path. States are bit-identical to per-pair StateOf calls.
+//
+// The returned slice is owned by the medium and reused: it is valid
+// only until the next PairStates call. Snapshot-per-epoch loops consume
+// it fully before re-measuring, which is exactly the lifetime it has.
+func (m *Medium) PairStates(vms []topology.VM) ([]PairState, error) {
+	plan, err := m.planFor(vms)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.net.BatchAvailabilityRefs(plan.pairs, plan.refs, plan.avs); err != nil {
+		return nil, err
+	}
+	states := plan.states
+	for i := range states {
+		s := &states[i]
+		s.State = plan.tmpl[i]
+		s.State.SustainedShare = plan.avs[i].Share
+		s.State.PhysicalShare = plan.avs[i].PhysicalShare
+		s.State.LineRate = plan.avs[i].LineRate
+	}
+	return states, nil
+}
+
+// planFor returns the cached mesh plan for vms, rebuilding it when the
+// VM set differs from the previous snapshot's.
+func (m *Medium) planFor(vms []topology.VM) (*meshPlan, error) {
+	if p := m.plan; p != nil && len(p.ids) == len(vms) {
+		match := true
+		for i := range vms {
+			if p.ids[i] != vms[i].ID {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p, nil
+		}
+	}
+	p := &meshPlan{
+		ids:   make([]topology.VMID, len(vms)),
+		pairs: make([][2]topology.VMID, 0, len(vms)*(len(vms)-1)),
+	}
+	for i, vm := range vms {
+		p.ids[i] = vm.ID
+	}
+	for _, a := range vms {
+		for _, b := range vms {
+			if a.ID != b.ID {
+				p.pairs = append(p.pairs, [2]topology.VMID{a.ID, b.ID})
+			}
+		}
+	}
+	p.tmpl = make([]PathState, len(p.pairs))
+	p.refs = make([]netsim.PairRef, len(p.pairs))
+	p.avs = make([]netsim.PathAvailability, len(p.pairs))
+	p.states = make([]PairState, len(p.pairs))
+	for i, pr := range p.pairs {
+		st, err := m.stateFrom(pr[0], pr[1], netsim.PathAvailability{})
+		if err != nil {
+			return nil, err
+		}
+		p.tmpl[i] = st
+		ref, err := m.net.PairRefFor(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		p.refs[i] = ref
+		p.states[i].Pair = pr
+	}
+	m.plan = p
+	return p, nil
+}
+
 // RunTrainOn runs one packet train over a previously snapshotted path
 // state, drawing measurement noise from the medium's rng exactly as
 // RunTrain would — the pairing for StatesOf in mesh measurement loops.
@@ -135,6 +255,25 @@ func (m *Medium) RunTrainOn(state PathState, cfg probe.Config) (probe.Observatio
 		return probe.Observation{}, err
 	}
 	return SimulateTrain(state, cfg, m.rng), nil
+}
+
+// RunTrainOnScratch is RunTrainOn recording into a burst buffer owned by
+// the medium: the returned observation is only valid until the next
+// RunTrainOnScratch call. Mesh measurement loops — one train per pair,
+// observation discarded as soon as the estimator has read it — use this
+// to keep the train path allocation-free; callers that retain
+// observations must use RunTrainOn. The config is validated once and
+// remembered, so the per-train cost is a single struct compare.
+func (m *Medium) RunTrainOnScratch(state *PathState, cfg probe.Config) (probe.Observation, error) {
+	if cfg != m.validCfg {
+		if err := cfg.Validate(); err != nil {
+			return probe.Observation{}, err
+		}
+		m.validCfg = cfg
+	}
+	obs := SimulateTrainInto(state, cfg, m.rng, m.scratch)
+	m.scratch = obs.Bursts
+	return obs, nil
 }
 
 // RunTrain sends one packet train from src to dst and returns the
@@ -150,11 +289,59 @@ func (m *Medium) RunTrain(src, dst topology.VMID, cfg probe.Config) (probe.Obser
 	return SimulateTrain(state, cfg, m.rng), nil
 }
 
-// SimulateTrain runs the burst-by-burst mechanics against a fixed path
+// burstKernel is the deterministic outcome of one burst as a function of
+// the token-bucket level it starts from: everything about the burst
+// except the rng draws (tail-drop decision, receiver jitter), which stay
+// per-burst. The token recursion
+//
+//	tokens' = clamp(tokens - B + hoseRate·(sendTime + gap))
+//
+// is piecewise affine in tokens, so it converges to a fixed point (or a
+// short rounding cycle) after a handful of bursts; once it does, every
+// remaining burst reuses the cached kernel and the steady-state tail
+// costs O(1) arithmetic per burst instead of re-deriving the two-phase
+// shaper, queue backlog and dispersion spans each time.
+type burstKernel struct {
+	tokensIn  float64 // bucket level this kernel was computed for
+	tokensOut float64 // bucket level after the burst and the gap refill
+	lostPkts  int     // queue-overflow drops (before the tail-drop draw)
+	drawDrop  bool    // the original code draws rng.Float64() this burst
+	pDrop     float64 // instantaneous drop probability for that draw
+	delivered float64 // bytes that survive the queue
+	recvBase  float64 // receiver span before tail-drop and jitter
+	minSpan   float64 // floor the jittered span clamps to
+}
+
+// SimulateTrain runs the packet-train mechanics against a fixed path
 // state. It is exported separately from Medium so experiments can probe
 // synthetic states directly.
+//
+// The implementation is the closed-form fast path described on
+// burstKernel: the deterministic per-burst arithmetic is computed once
+// per distinct token level (a two-entry cache covers fixed points and
+// period-2 rounding cycles), while the rng draws are performed in the
+// exact per-burst sequence of the original burst-by-burst loop, so
+// observations — and the rng cursor — are bit-identical to it. The
+// reference implementation survives as simulateTrainReference in the
+// test package, with a fuzz suite asserting exactly that equivalence.
 func SimulateTrain(state PathState, cfg probe.Config, rng *rand.Rand) probe.Observation {
-	obs := probe.Observation{Config: cfg, RTT: state.RTT}
+	return SimulateTrainInto(&state, cfg, rng, make([]probe.BurstObservation, 0, cfg.Bursts))
+}
+
+// SimulateTrainInto is SimulateTrain recording bursts into the caller's
+// buffer (reused from index zero, grown as needed) — the allocation-free
+// path for mesh loops that discard each observation after feeding the
+// estimator. The returned observation aliases the buffer; state is read,
+// never written.
+func SimulateTrainInto(state *PathState, cfg probe.Config, rng *rand.Rand, buf []probe.BurstObservation) probe.Observation {
+	if cap(buf) < cfg.Bursts {
+		buf = make([]probe.BurstObservation, cfg.Bursts)
+	}
+	obs := probe.Observation{
+		Config: cfg,
+		RTT:    state.RTT,
+		Bursts: buf[:cfg.Bursts],
+	}
 
 	// One train samples the path for well under a second, while the
 	// ground-truth netperf averages ten seconds; the per-train epoch
@@ -187,11 +374,16 @@ func SimulateTrain(state PathState, cfg probe.Config, rng *rand.Rand) probe.Obse
 	burstBytes := pkt * float64(cfg.BurstLength)
 	tokens := float64(state.HoseBurst)
 	bucket := float64(state.HoseBurst)
+	unshaped := state.SameHost || hoseRate >= line
+	gapRefill := hoseRate * cfg.Gap.Seconds()
+	jitterSec := state.BurstJitter.Seconds()
 
-	for i := 0; i < cfg.Bursts; i++ {
+	compute := func(tokens float64) burstKernel {
+		k := burstKernel{tokensIn: tokens, delivered: burstBytes}
 		var sendTime float64 // seconds for the burst to clear the shaper
-		if state.SameHost || hoseRate >= line {
-			// No effective shaping.
+		if unshaped {
+			// No effective shaping; the bucket level is untouched by the
+			// send and only sees the gap refill.
 			sendTime = burstBytes / line
 		} else {
 			// Phase A: tokens drain at (line - hoseRate) while sending at
@@ -220,55 +412,88 @@ func SimulateTrain(state PathState, cfg probe.Config, rng *rand.Rand) probe.Obse
 		// the saturated period rather than truncating the burst cleanly;
 		// only a short run at the very end is lost outright.
 		arrivalRate := burstBytes / sendTime
-		lostPkts, tailLost := 0, 0
-		deliveredBytes := burstBytes
 		if arrivalRate > svc {
 			backlog := burstBytes * (1 - svc/arrivalRate)
 			if overflow := backlog - float64(state.QueueCapacity); overflow > 0 {
-				lostPkts = int(overflow / pkt)
-				if lostPkts >= cfg.BurstLength {
-					lostPkts = cfg.BurstLength - 1
+				k.lostPkts = int(overflow / pkt)
+				if k.lostPkts >= cfg.BurstLength {
+					k.lostPkts = cfg.BurstLength - 1
 				}
-				deliveredBytes = burstBytes - float64(lostPkts)*pkt
+				k.delivered = burstBytes - float64(k.lostPkts)*pkt
 				// The final packet is dropped with the instantaneous drop
 				// probability; consecutive end-of-burst drops are short.
-				if pDrop := 1 - svc/arrivalRate; rng.Float64() < pDrop && lostPkts > 0 {
-					tailLost = 1 + rng.Intn(3)
-					if tailLost > lostPkts {
-						tailLost = lostPkts
-					}
+				k.drawDrop = true
+				k.pDrop = 1 - svc/arrivalRate
+			}
+		}
+		k.recvBase = math.Max(sendTime, k.delivered/svc)
+		k.minSpan = k.delivered / line
+
+		// Refill tokens during the inter-burst gap.
+		tokens += gapRefill
+		if tokens > bucket {
+			tokens = bucket
+		}
+		k.tokensOut = tokens
+		return k
+	}
+
+	// Two cached kernels in MRU order: enough for the steady state to
+	// collapse whether the token recursion lands on an exact fixed point
+	// or a 2-cycle of rounding. Pointers, not copies — a hit must not
+	// move the struct.
+	var cells [2]burstKernel
+	var p0, p1 *burstKernel
+	jitter := state.BurstJitter > 0
+
+	for i := 0; i < cfg.Bursts; i++ {
+		var k *burstKernel
+		switch {
+		case p0 != nil && p0.tokensIn == tokens:
+			k = p0
+		case p1 != nil && p1.tokensIn == tokens:
+			p0, p1 = p1, p0
+			k = p0
+		default:
+			k = &cells[0]
+			if p0 == &cells[0] {
+				k = &cells[1]
+			}
+			*k = compute(tokens)
+			p1, p0 = p0, k
+		}
+
+		tailLost := 0
+		if k.drawDrop {
+			if rng.Float64() < k.pDrop && k.lostPkts > 0 {
+				tailLost = 1 + rng.Intn(3)
+				if tailLost > k.lostPkts {
+					tailLost = k.lostPkts
 				}
 			}
 		}
 
-		recvTime := math.Max(sendTime, deliveredBytes/svc)
+		recvTime := k.recvBase
 		if tailLost > 0 {
 			// The last received packet predates the lost tail run.
 			recvTime -= float64(tailLost) * pkt / svc
 		}
 
 		// Receiver timestamps carry jitter at both edges of the burst.
-		if state.BurstJitter > 0 {
-			recvTime += rng.NormFloat64() * state.BurstJitter.Seconds() * math.Sqrt2
-			minSpan := deliveredBytes / line
-			if recvTime < minSpan {
-				recvTime = minSpan
+		if jitter {
+			recvTime += rng.NormFloat64() * jitterSec * math.Sqrt2
+			if recvTime < k.minSpan {
+				recvTime = k.minSpan
 			}
 		}
 
-		received := cfg.BurstLength - lostPkts
-		obs.Bursts = append(obs.Bursts, probe.BurstObservation{
+		obs.Bursts[i] = probe.BurstObservation{
 			Sent:     cfg.BurstLength,
-			Received: received,
+			Received: cfg.BurstLength - k.lostPkts,
 			TailLost: tailLost,
 			Span:     units.Seconds(recvTime),
-		})
-
-		// Refill tokens during the inter-burst gap.
-		tokens += hoseRate * cfg.Gap.Seconds()
-		if tokens > bucket {
-			tokens = bucket
 		}
+		tokens = k.tokensOut
 	}
 	return obs
 }
@@ -280,28 +505,24 @@ func SimulateTrain(state PathState, cfg probe.Config, rng *rand.Rand) probe.Obse
 // per-pair coordination overhead — the paper reports "under three minutes"
 // for 90 pairs including orchestration (§4.1).
 func (m *Medium) MeasureMesh(vms []topology.VM, cfg probe.Config, perPairOverhead time.Duration) (map[[2]topology.VMID]units.Rate, time.Duration, error) {
-	states, err := m.StatesOf(vms)
+	states, err := m.PairStates(vms)
 	if err != nil {
 		return nil, 0, err
 	}
-	rates := make(map[[2]topology.VMID]units.Rate)
+	rates := make(map[[2]topology.VMID]units.Rate, len(states))
 	var elapsed time.Duration
-	for _, a := range vms {
-		for _, b := range vms {
-			if a.ID == b.ID {
-				continue
-			}
-			obs, err := m.RunTrainOn(states[[2]topology.VMID{a.ID, b.ID}], cfg)
-			if err != nil {
-				return nil, 0, fmt.Errorf("packetsim: train %d->%d: %w", a.ID, b.ID, err)
-			}
-			est, err := obs.EstimateThroughput()
-			if err != nil {
-				est = 0
-			}
-			rates[[2]topology.VMID{a.ID, b.ID}] = est
-			elapsed += obs.Duration() + perPairOverhead
+	for i := range states {
+		ps := &states[i]
+		obs, err := m.RunTrainOnScratch(&ps.State, cfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("packetsim: train %d->%d: %w", ps.Pair[0], ps.Pair[1], err)
 		}
+		est, err := obs.EstimateThroughput()
+		if err != nil {
+			est = 0
+		}
+		rates[ps.Pair] = est
+		elapsed += obs.Duration() + perPairOverhead
 	}
 	return rates, elapsed, nil
 }

@@ -70,20 +70,52 @@ func Optimal(app *profile.Application, env *Environment, model Model, maxNodes i
 	}
 	cpuLeft := append([]float64(nil), env.CPUCap...)
 
-	// Incremental group loads in bits.
-	pairBits := make(map[[2]int]float64)
+	// The search calls groupTime once per placed edge per node — tens of
+	// millions of times on sweep-scale instances — so the rate lookups it
+	// divides by are hoisted out of the recursion: hose rates (an O(M)
+	// row scan each when HoseRates is unset) and the pipe-model rate
+	// matrix are converted to float64 once. The divisions below are the
+	// same operations on the same values as computing them in place, so
+	// the search visits identical nodes and returns identical placements.
+	rateF := make([]float64, M*M)
+	hoseF := make([]float64, M)
+	for m := 0; m < M; m++ {
+		for n := 0; n < M; n++ {
+			rateF[m*M+n] = float64(env.Rates[m][n])
+		}
+		hoseF[m] = float64(e2hose(env, m))
+	}
+
+	// Incremental group loads in bits. Pair loads live in a flat M×M
+	// array (missing map keys read as 0, exactly like fresh array cells).
+	pairBits := make([]float64, M*M)
 	egressBits := make([]float64, M)
 	intraBits := make([]float64, M)
 
 	groupTime := func(m, n int) float64 {
 		if model == Hose {
 			if m == n {
-				return intraBits[m] / float64(env.Rates[m][m])
+				return intraBits[m] / rateF[m*M+m]
 			}
-			return egressBits[m] / float64(e2hose(env, m))
+			return egressBits[m] / hoseF[m]
 		}
-		return pairBits[[2]int{m, n}] / float64(env.Rates[m][n])
+		return pairBits[m*M+n] / rateF[m*M+n]
 	}
+
+	// One delta stack for the whole search: each node appends its edge
+	// contributions and unwinds to its saved base on the way out, so the
+	// DFS allocates nothing per node. A depth-first path places each
+	// transfer's two endpoints at most once, so 2×transfers bounds the
+	// stack's high-water mark.
+	type delta struct {
+		src, dst int
+		bits     float64
+	}
+	totalEdges := 0
+	for _, es := range edges {
+		totalEdges += len(es)
+	}
+	deltaStack := make([]delta, 0, totalEdges)
 
 	bestObj := math.Inf(1)
 	var bestAssign []int
@@ -111,11 +143,7 @@ func Optimal(app *profile.Application, env *Environment, model Model, maxNodes i
 				continue
 			}
 			// Apply: account transfers to already-placed neighbours.
-			type delta struct {
-				pair [2]int
-				bits float64
-			}
-			var deltas []delta
+			base := len(deltaStack)
 			newMax := partialMax
 			assign[task] = m
 			cpuLeft[m] -= app.CPU[task]
@@ -129,7 +157,7 @@ func Optimal(app *profile.Application, env *Environment, model Model, maxNodes i
 					src, dst = om, m
 				}
 				bits := e.bytes.Bits()
-				deltas = append(deltas, delta{pair: [2]int{src, dst}, bits: bits})
+				deltaStack = append(deltaStack, delta{src: src, dst: dst, bits: bits})
 				if model == Hose {
 					if src == dst {
 						intraBits[src] += bits
@@ -137,7 +165,7 @@ func Optimal(app *profile.Application, env *Environment, model Model, maxNodes i
 						egressBits[src] += bits
 					}
 				} else {
-					pairBits[[2]int{src, dst}] += bits
+					pairBits[src*M+dst] += bits
 				}
 				if t := groupTime(src, dst); t > newMax {
 					newMax = t
@@ -145,17 +173,18 @@ func Optimal(app *profile.Application, env *Environment, model Model, maxNodes i
 			}
 			rec(depth+1, newMax)
 			// Undo.
-			for _, d := range deltas {
+			for _, d := range deltaStack[base:] {
 				if model == Hose {
-					if d.pair[0] == d.pair[1] {
-						intraBits[d.pair[0]] -= d.bits
+					if d.src == d.dst {
+						intraBits[d.src] -= d.bits
 					} else {
-						egressBits[d.pair[0]] -= d.bits
+						egressBits[d.src] -= d.bits
 					}
 				} else {
-					pairBits[d.pair] -= d.bits
+					pairBits[d.src*M+d.dst] -= d.bits
 				}
 			}
+			deltaStack = deltaStack[:base]
 			cpuLeft[m] += app.CPU[task]
 			assign[task] = -1
 		}

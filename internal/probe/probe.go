@@ -141,14 +141,43 @@ func (o Observation) MathisEstimate() units.Rate {
 }
 
 // EstimateThroughput is the combined estimator: the minimum of the
-// dispersion estimate and the Mathis bound.
+// dispersion estimate and the Mathis bound. It folds the loss-rate and
+// dispersion accumulations into a single pass over the bursts — each
+// accumulator sees the same additions in the same order as the
+// standalone estimators, so the result is bit-identical to combining
+// DispersionEstimate and MathisEstimate (this sits on the mesh
+// measurement hot path, once per train).
 func (o Observation) EstimateThroughput() (units.Rate, error) {
-	disp, err := o.DispersionEstimate()
-	if err != nil {
-		return 0, err
+	sent, recv := 0, 0
+	var bytes, seconds float64
+	for _, b := range o.Bursts {
+		sent += b.Sent
+		recv += b.Received
+		if b.Received < 2 || b.Span <= 0 {
+			continue
+		}
+		span := b.Span.Seconds()
+		if edge := b.HeadLost + b.TailLost; edge > 0 {
+			perPacket := span / float64(b.Received-1)
+			span += perPacket * float64(edge)
+		}
+		bytes += float64(o.Config.PacketSize) * float64(b.Received)
+		seconds += span
 	}
-	if mathis := o.MathisEstimate(); mathis < disp {
-		return mathis, nil
+	if seconds == 0 {
+		return 0, ErrNoData
+	}
+	disp := units.Rate(bytes * 8 / seconds)
+
+	l := 0.0
+	if sent != 0 {
+		l = 1 - float64(recv)/float64(sent)
+	}
+	if l > 0 && o.RTT > 0 {
+		bits := o.Config.MSS.Bits()
+		if mathis := units.Rate(bits * MathisC / (o.RTT.Seconds() * math.Sqrt(l))); mathis < disp {
+			return mathis, nil
+		}
 	}
 	return disp, nil
 }
