@@ -48,7 +48,9 @@ lint:
 # The sweep engine's acceptance check: the default grid must produce
 # byte-identical JSON on 1 worker and on 8, with the environment cache
 # on and off — and the streaming JSONL pipeline must be deterministic
-# across worker counts too.
+# across worker counts too. Turning on span tracing (-events) must not
+# change a single report byte, and the event log itself must decode as
+# schema-valid JSONL with balanced span start/end pairs.
 sweep-smoke: build
 	$(BIN)/choreo sweep -workers 1 -out $(BIN)/sweep-w1.json
 	$(BIN)/choreo sweep -workers 8 -cache-stats -out $(BIN)/sweep-w8.json
@@ -58,7 +60,10 @@ sweep-smoke: build
 	$(BIN)/choreo sweep -workers 1 -stream -out $(BIN)/sweep-s1.jsonl
 	$(BIN)/choreo sweep -workers 8 -stream -out $(BIN)/sweep-s8.jsonl
 	cmp $(BIN)/sweep-s1.jsonl $(BIN)/sweep-s8.jsonl
-	@echo "sweep output is byte-identical across worker counts and cache states"
+	$(BIN)/choreo sweep -workers 8 -stream -events $(BIN)/sweep-events.jsonl -out $(BIN)/sweep-s8e.jsonl
+	cmp $(BIN)/sweep-s1.jsonl $(BIN)/sweep-s8e.jsonl
+	$(BIN)/choreo obs validate-events $(BIN)/sweep-events.jsonl
+	@echo "sweep output is byte-identical across worker counts, cache states and with -events tracing on"
 
 # The distributed-sweep acceptance check: the default grid run as 3
 # shards and merged must be byte-identical to the unsharded stream, and
@@ -135,7 +140,10 @@ sweep-live-smoke: build
 # and require the two responses byte-identical — the epoch is pinned
 # (-interval 1h) and greedy placement is deterministic, so any
 # difference is a schema or determinism regression. The health endpoint
-# must agree on backend and epoch.
+# must agree on backend and epoch. The Prometheus endpoint must serve
+# valid text-format exposition (checked by the repo's own parser — no
+# promtool) covering the serve/epoch families, /v1/metrics must be
+# application/json, and an unknown /v1/ path must 404 with a JSON body.
 serve-smoke: build
 	@set -e; \
 	printf '{"name":"smoke","cpu":[1,1,1,1],"transfersMB":[[0,2,200],[0,3,200],[1,2,200],[1,3,200]]}' \
@@ -151,8 +159,18 @@ serve-smoke: build
 	grep -q '"v": 1' $(BIN)/serve-place1.json; \
 	grep -q '"epoch": 1' $(BIN)/serve-place1.json; \
 	grep -q '"envHash"' $(BIN)/serve-place1.json; \
-	curl -sf http://127.0.0.1:17180/v1/health | grep -q '"backend":"sim"'
-	@echo "placement service responses are schema-stable and byte-identical on a pinned epoch"
+	curl -sf http://127.0.0.1:17180/v1/health | grep -q '"backend":"sim"'; \
+	curl -sf http://127.0.0.1:17180/metrics > $(BIN)/serve-metrics.prom; \
+	$(BIN)/choreo obs validate-prom $(BIN)/serve-metrics.prom; \
+	grep -q '^choreo_epochs_total 1$$' $(BIN)/serve-metrics.prom; \
+	grep -q '^choreo_placements_total 2$$' $(BIN)/serve-metrics.prom; \
+	grep -q '^choreo_http_request_seconds_bucket' $(BIN)/serve-metrics.prom; \
+	grep -q '^choreo_snapshot_epoch 1$$' $(BIN)/serve-metrics.prom; \
+	curl -s -o /dev/null -w '%{content_type}' http://127.0.0.1:17180/v1/metrics \
+		| grep -q '^application/json'; \
+	test "$$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:17180/v1/nope)" = 404; \
+	curl -s http://127.0.0.1:17180/v1/nope | grep -q '"error"'
+	@echo "placement service responses are schema-stable and byte-identical on a pinned epoch; /metrics is valid Prometheus"
 
 # The placement-service load check (live backend): a loopback fleet of
 # real agents behind a server re-measuring every 2s, hammered by 6

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"choreo/internal/obs"
 	"choreo/internal/probe"
 	"choreo/internal/sweep/backend"
 	"choreo/internal/units"
@@ -85,8 +86,10 @@ func (f *fleetFlags) train() probe.Config {
 
 // liveBackend is the single validation path from the flag group to a
 // live measurement backend: split and check the fleet, assemble the
-// train, stamp the epoch.
-func (f *fleetFlags) liveBackend() (*backend.Live, error) {
+// train, stamp the epoch. A non-nil observer instruments every mesh
+// the backend runs (pair/RTT histograms, per-agent failure counters,
+// mesh/pair spans) into the caller's sinks.
+func (f *fleetFlags) liveBackend(o *obs.Observer) (*backend.Live, error) {
 	addrs, err := f.addrs(2)
 	if err != nil {
 		return nil, err
@@ -99,5 +102,6 @@ func (f *fleetFlags) liveBackend() (*backend.Live, error) {
 		// drifts between runs, so two runs' measurements must never be
 		// conflated by anything keyed on cell identity.
 		Epoch: time.Now().Unix(),
+		Obs:   o,
 	})
 }

@@ -11,12 +11,15 @@ import (
 	"time"
 
 	"choreo/internal/api"
+	"choreo/internal/obs"
 )
 
 // runLoad is the placement-service load harness: -clients concurrent
 // clients hammer POST /v1/place against a running `choreo serve` for
-// -duration and report sustained placements/sec. It fails (non-zero
-// exit) on any request error, on a torn snapshot (two responses with
+// -duration and report sustained placements/sec plus p50/p90/p99/max
+// placement latency (an obs histogram shared by the clients). It fails
+// (non-zero exit) on any request error — a 5xx response is called out
+// explicitly — on a torn snapshot (two responses with
 // the same epoch but different environment hashes), or — with
 // -min-epochs — if the run did not ride across enough re-measurement
 // epochs to prove that placements proceed while the mesh refreshes.
@@ -54,11 +57,15 @@ func runLoad(args []string) error {
 
 	type tally struct {
 		ok, rejected, failed int
+		server5xx            int
 		firstErr             error
 		epochHash            map[int64]string
 		torn                 error
 	}
 	tallies := make([]tally, *clients)
+	// One latency histogram shared by every client: Observe is atomic,
+	// so the goroutines fold into it without a lock.
+	latency := obs.NewHistogram(obs.DurationBuckets())
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < *clients; i++ {
@@ -70,10 +77,12 @@ func runLoad(args []string) error {
 			c := &api.Client{BaseURL: *server, Tenant: *tenant}
 			rng := rand.New(rand.NewSource(int64(id)))
 			for ctx.Err() == nil {
+				reqStart := time.Now()
 				resp, err := c.Place(ctx, api.PlaceRequest{App: app})
 				switch {
 				case err == nil:
 					t.ok++
+					latency.Observe(time.Since(reqStart).Seconds())
 					if prev, seen := t.epochHash[resp.Epoch]; seen && prev != resp.EnvHash {
 						t.torn = fmt.Errorf("epoch %d served env %s then %s", resp.Epoch, prev, resp.EnvHash)
 						return
@@ -88,6 +97,10 @@ func runLoad(args []string) error {
 					return // the deadline interrupted an in-flight request
 				default:
 					t.failed++
+					var se *api.StatusError
+					if errors.As(err, &se) && se.Code >= 500 {
+						t.server5xx++
+					}
 					if t.firstErr == nil {
 						t.firstErr = err
 					}
@@ -99,7 +112,7 @@ func runLoad(args []string) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	total, rejected, failed := 0, 0, 0
+	total, rejected, failed, server5xx := 0, 0, 0, 0
 	epochHash := make(map[int64]string)
 	var firstErr, torn error
 	for i := range tallies {
@@ -107,6 +120,7 @@ func runLoad(args []string) error {
 		total += t.ok
 		rejected += t.rejected
 		failed += t.failed
+		server5xx += t.server5xx
 		if t.firstErr != nil && firstErr == nil {
 			firstErr = t.firstErr
 		}
@@ -123,11 +137,19 @@ func runLoad(args []string) error {
 
 	fmt.Printf("load: %d placements in %.1fs = %.1f placements/sec (%d clients)\n",
 		total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), *clients)
-	fmt.Printf("load: %d distinct epochs observed, %d quota rejections, %d errors\n",
-		len(epochHash), rejected, failed)
+	if latency.Count() > 0 {
+		fmt.Printf("load: placement latency p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n",
+			latency.Quantile(0.5)*1e3, latency.Quantile(0.9)*1e3,
+			latency.Quantile(0.99)*1e3, latency.Max()*1e3)
+	}
+	fmt.Printf("load: %d distinct epochs observed, %d quota rejections, %d errors (%d server 5xx)\n",
+		len(epochHash), rejected, failed, server5xx)
 
 	if torn != nil {
 		return fmt.Errorf("snapshot isolation violated: %w", torn)
+	}
+	if server5xx > 0 {
+		return fmt.Errorf("server returned %d 5xx responses; first error: %w", server5xx, firstErr)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d requests failed; first: %w", failed, firstErr)

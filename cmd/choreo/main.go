@@ -72,6 +72,12 @@
 //	    and splice them into one report, byte-identical to the unsharded
 //	    `choreo sweep -stream` run of the same grid. Mixing simulated
 //	    and live shards is rejected with a precise error.
+//
+//	choreo obs <validate-prom|validate-events> [file]
+//	    validate a Prometheus /metrics scrape or a -events span log
+//	    (stdin by default); CI uses these instead of promtool. The
+//	    -events flag on sweep and serve writes the span log; GET
+//	    /metrics on a running serve is the Prometheus scrape.
 package main
 
 import (
@@ -116,6 +122,8 @@ func main() {
 		err = runAgents(os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
+	case "obs":
+		err = runObsCmd(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -130,7 +138,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: choreo <simulate|measure|place|sweep|merge|serve|load|agents|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: choreo <simulate|measure|place|sweep|merge|serve|load|agents|bench|obs> [flags]")
 }
 
 func profileByName(name string) (choreo.Profile, error) {

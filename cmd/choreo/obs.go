@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"choreo/internal/obs"
+)
+
+// eventsObserver builds the observer behind a -events flag: a span
+// tracer writing schema'd JSONL to path ("" = tracing off, "-" =
+// stdout is rejected since result streams own stdout). The returned
+// close flushes the tracer and surfaces any deferred write error, so
+// a full disk fails the run instead of silently truncating the log.
+func eventsObserver(path string) (*obs.Observer, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	if path == "-" {
+		return nil, nil, fmt.Errorf("-events writes span events, not results; give it a file path")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := obs.NewTracer(f)
+	o := &obs.Observer{Trace: t}
+	closeFn := func() error {
+		flushErr := t.Flush()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return flushErr
+	}
+	return o, closeFn, nil
+}
+
+// runObsCmd is `choreo obs <validate-prom|validate-events> [file]`: the
+// repo's own validators for the two observability formats, so CI can
+// check a /metrics scrape or a -events log without promtool or jq
+// schema hacks. Reads the file argument or stdin; exits non-zero with
+// a line-precise error on malformed input.
+func runObsCmd(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: choreo obs <validate-prom|validate-events> [file]")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("obs "+sub, flag.ExitOnError)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("obs %s: at most one input file (default stdin)", sub)
+	}
+	var r io.Reader = os.Stdin
+	src := "stdin"
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+		src = fs.Arg(0)
+	}
+	switch sub {
+	case "validate-prom":
+		stats, err := obs.ValidatePrometheus(bufio.NewReader(r))
+		if err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+		fmt.Printf("%s: valid Prometheus text format: %d families, %d samples\n",
+			src, stats.Families, stats.Samples)
+	case "validate-events":
+		evs, err := obs.DecodeEvents(bufio.NewReader(r))
+		if err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+		spans := 0
+		for _, e := range evs {
+			if e.Ev == "start" {
+				spans++
+			}
+		}
+		fmt.Printf("%s: valid event log: %d events, %d balanced spans\n",
+			src, len(evs), spans)
+	default:
+		return fmt.Errorf("obs: unknown subcommand %q (validate-prom or validate-events)", sub)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"choreo/internal/api"
+	"choreo/internal/obs"
 	"choreo/internal/place"
 	"choreo/internal/serve"
 	"choreo/internal/sweep/backend"
@@ -24,9 +25,10 @@ import (
 // publishing each completed epoch as an immutable snapshot. SIGINT or
 // SIGTERM drains the HTTP server and cancels any in-flight mesh
 // measurement.
-func runServe(args []string) error {
+func runServe(args []string) (err error) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7180", "HTTP listen address")
+	events := fs.String("events", "", "write a schema'd JSONL span log (serve.epoch, plus cluster.mesh/pair with -backend live) to this file; validate with `choreo obs validate-events`")
 	backendName := fs.String("backend", "sim", "measurement backend: sim (deterministic netsim cloud) or live (real choreo-agent mesh)")
 	profileName := fs.String("profile", "ec2-2013", "provider profile (sim backend)")
 	vms := fs.Int("vms", 8, "VM slots to measure and place onto (live default: the fleet size)")
@@ -44,7 +46,25 @@ func runServe(args []string) error {
 	}
 	set := visited(fs)
 
+	// One observer shared by the server and (for -backend live) the
+	// measurement plane, so GET /metrics covers serve, epoch and
+	// cluster metrics from a single registry.
+	traceObs, closeEvents, err := eventsObserver(*events)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := closeEvents(); e != nil && err == nil {
+			err = fmt.Errorf("-events %s: %w", *events, e)
+		}
+	}()
+	observer := &obs.Observer{Metrics: obs.NewRegistry()}
+	if traceObs != nil {
+		observer.Trace = traceObs.Trace
+	}
+
 	cfg := serve.Config{
+		Obs:        observer,
 		Interval:   *interval,
 		QuotaRate:  *quotaRate,
 		QuotaBurst: *quotaBurst,
@@ -53,7 +73,6 @@ func runServe(args []string) error {
 			fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
 		},
 	}
-	var err error
 	if cfg.Model, err = api.ParseModel(*model, place.Hose); err != nil {
 		return err
 	}
@@ -73,7 +92,7 @@ func runServe(args []string) error {
 		if set["profile"] {
 			return fmt.Errorf("-profile selects the simulated cloud; a live server measures the real fleet")
 		}
-		live, err := fleet.liveBackend()
+		live, err := fleet.liveBackend(observer)
 		if err != nil {
 			return err
 		}

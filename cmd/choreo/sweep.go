@@ -78,6 +78,7 @@ func runSweep(args []string) (err error) {
 	resumePath := fs.String("resume", "", "JSONL report or shard from a prior (possibly interrupted) run with the same flags; scenarios that already have a result line are not re-executed")
 	cache := fs.Bool("cache", true, "share one built-and-measured cloud across each cell's algorithms and optimal reference")
 	cacheStats := fs.Bool("cache-stats", false, "print environment-cache hit/miss counters to stderr")
+	events := fs.String("events", "", "write a schema'd JSONL span log (run/cell/build/measure/place/report, plus mesh/pair with -backend live) to this file; validate with `choreo obs validate-events`")
 	list := fs.Bool("list", false, "list valid topologies, workloads and algorithms, then exit")
 	prof := registerProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -215,6 +216,16 @@ func runSweep(args []string) (err error) {
 	}
 	g.Seeds = seeds
 
+	observer, closeEvents, err := eventsObserver(*events)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := closeEvents(); e != nil && err == nil {
+			err = fmt.Errorf("-events %s: %w", *events, e)
+		}
+	}()
+
 	switch *backendName {
 	case "sim":
 		// A live-only flag on a simulated sweep would be silently ignored;
@@ -223,7 +234,7 @@ func runSweep(args []string) (err error) {
 			return err
 		}
 	case "live":
-		live, err := fleet.liveBackend()
+		live, err := fleet.liveBackend(observer)
 		if err != nil {
 			return err
 		}
@@ -232,7 +243,7 @@ func runSweep(args []string) (err error) {
 		return fmt.Errorf("unknown -backend %q (sim or live)", *backendName)
 	}
 
-	opts := sweep.RunOptions{Workers: *workers, NoCache: !*cache}
+	opts := sweep.RunOptions{Workers: *workers, NoCache: !*cache, Obs: observer}
 
 	if *resumePath != "" {
 		if *timing {

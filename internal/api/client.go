@@ -26,6 +26,16 @@ type QuotaError struct{ Message string }
 
 func (e *QuotaError) Error() string { return e.Message }
 
+// StatusError is returned for every other non-200 response, carrying
+// the HTTP status code so callers can distinguish client mistakes (4xx)
+// from server faults (5xx) — `choreo load` fails its run on any 5xx.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string { return e.Message }
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
@@ -73,7 +83,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 		if resp.StatusCode == http.StatusTooManyRequests {
 			return &QuotaError{Message: msg}
 		}
-		return fmt.Errorf("%s", msg)
+		return &StatusError{Code: resp.StatusCode, Message: msg}
 	}
 	if err := json.Unmarshal(data, out); err != nil {
 		return fmt.Errorf("api: %s %s: decode response: %w", method, path, err)

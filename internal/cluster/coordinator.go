@@ -8,6 +8,7 @@ import (
 	"net"
 	"time"
 
+	"choreo/internal/obs"
 	"choreo/internal/probe"
 	"choreo/internal/units"
 )
@@ -27,6 +28,8 @@ import (
 type Coordinator struct {
 	agents  []string // control addresses
 	timeout time.Duration
+	obs     *obs.Observer   // nil until Instrument
+	m       *clusterMetrics // nil until Instrument
 }
 
 // NewCoordinator takes agent control addresses.
@@ -50,12 +53,14 @@ type session struct {
 	dec     *json.Decoder
 	addr    string
 	timeout time.Duration
+	m       *clusterMetrics // shared with the coordinator; nil when uninstrumented
 }
 
 func (c *Coordinator) dial(ctx context.Context, addr string) (*session, error) {
 	d := net.Dialer{Timeout: c.timeout}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		c.m.fail(addr, failureCause(ctx, err, "dial"))
 		return nil, fmt.Errorf("cluster: dial agent %s: %w", addr, ctxCause(ctx, err))
 	}
 	return &session{
@@ -64,6 +69,7 @@ func (c *Coordinator) dial(ctx context.Context, addr string) (*session, error) {
 		dec:     json.NewDecoder(bufio.NewReader(conn)),
 		addr:    addr,
 		timeout: c.timeout,
+		m:       c.m,
 	}, nil
 }
 
@@ -90,6 +96,7 @@ func (s *session) call(ctx context.Context, req *Request) (*Response, error) {
 	err := s.enc.Encode(req)
 	stop()
 	if err != nil {
+		s.m.fail(s.addr, failureCause(ctx, err, "send"))
 		return nil, fmt.Errorf("cluster: send to agent %s: %w", s.addr, ctxCause(ctx, err))
 	}
 	return s.read(ctx)
@@ -116,12 +123,15 @@ func (s *session) readWithin(ctx context.Context, d time.Duration) (*Response, e
 	err := s.dec.Decode(&resp)
 	stop()
 	if err != nil {
+		s.m.fail(s.addr, failureCause(ctx, err, "io"))
 		return nil, fmt.Errorf("cluster: agent %s: %w", s.addr, ctxCause(ctx, err))
 	}
 	if resp.Error != "" {
+		s.m.fail(s.addr, "agent-error")
 		return nil, fmt.Errorf("cluster: agent %s: %s", s.addr, resp.Error)
 	}
 	if v := protocolVersionOf(resp.V); v != ProtocolVersion {
+		s.m.fail(s.addr, "version-mismatch")
 		return nil, fmt.Errorf("cluster: agent %s speaks protocol v%d, need v%d; upgrade choreo-agent", s.addr, v, ProtocolVersion)
 	}
 	return &resp, nil
@@ -153,6 +163,21 @@ func (c *Coordinator) MeasurePath(ctx context.Context, src, dst int, cfg probe.C
 	if src == dst {
 		return probe.Observation{}, fmt.Errorf("cluster: src == dst")
 	}
+	span := c.obs.StartSpan(obs.SpanFromContext(ctx), "cluster.pair",
+		obs.Int("src", int64(src)), obs.Int("dst", int64(dst)),
+		obs.String("srcAddr", c.agents[src]), obs.String("dstAddr", c.agents[dst]))
+	pairStart := time.Now()
+	obsn, err := c.measurePath(ctx, src, dst, cfg)
+	if err != nil {
+		span.End(obs.String("outcome", "error"))
+		return obsn, err
+	}
+	c.m.pairDone(time.Since(pairStart).Seconds(), obsn.RTT.Seconds())
+	span.End(obs.String("outcome", "ok"), obs.Int("rttNs", obsn.RTT.Nanoseconds()))
+	return obsn, nil
+}
+
+func (c *Coordinator) measurePath(ctx context.Context, src, dst int, cfg probe.Config) (probe.Observation, error) {
 	echoAddr, err := c.EchoAddr(ctx, dst)
 	if err != nil {
 		return probe.Observation{}, err
@@ -244,21 +269,27 @@ func (c *Coordinator) MeasureMesh(ctx context.Context, cfg probe.Config) (*MeshR
 	}
 	start := time.Now()
 	done, total := 0, n*(n-1)
+	meshSpan := c.obs.StartSpan(obs.SpanFromContext(ctx), "cluster.mesh",
+		obs.Int("agents", int64(n)), obs.Int("pairs", int64(total)))
+	ctx = spanCtx(ctx, meshSpan)
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {
 			if src == dst {
 				continue
 			}
 			if err := ctx.Err(); err != nil {
+				meshSpan.End(obs.String("outcome", "canceled"), obs.Int("done", int64(done)))
 				return nil, fmt.Errorf("cluster: mesh canceled after %d of %d pairs: %w", done, total, err)
 			}
-			obs, err := c.MeasurePath(ctx, src, dst, cfg)
+			o, err := c.MeasurePath(ctx, src, dst, cfg)
 			if err != nil {
+				meshSpan.End(obs.String("outcome", "error"), obs.Int("done", int64(done)))
 				return nil, fmt.Errorf("cluster: mesh pair %d->%d (%s -> %s) failed after %d of %d pairs: %w",
 					src, dst, c.agents[src], c.agents[dst], done, total, err)
 			}
-			est, err := obs.EstimateThroughput()
+			est, err := o.EstimateThroughput()
 			if err != nil {
+				meshSpan.End(obs.String("outcome", "error"), obs.Int("done", int64(done)))
 				return nil, fmt.Errorf("cluster: estimate %d->%d (%s -> %s): %w",
 					src, dst, c.agents[src], c.agents[dst], err)
 			}
@@ -267,6 +298,7 @@ func (c *Coordinator) MeasureMesh(ctx context.Context, cfg probe.Config) (*MeshR
 		}
 	}
 	res.Elapsed = time.Since(start)
+	meshSpan.End(obs.String("outcome", "ok"), obs.Int("done", int64(done)))
 	return res, nil
 }
 

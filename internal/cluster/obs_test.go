@@ -1,0 +1,153 @@
+package cluster_test
+
+// Observability tests for the coordinator: an instrumented mesh records
+// pair/RTT histograms and balanced mesh/pair spans; failures attribute
+// to the failing agent with the right cause.
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"choreo/internal/cluster"
+	"choreo/internal/obs"
+	"choreo/internal/sweep/backend/livetest"
+)
+
+func TestInstrumentedMeshMetricsAndSpans(t *testing.T) {
+	mesh, err := livetest.Start(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+
+	var events bytes.Buffer
+	o := &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(&events)}
+	coord := cluster.NewCoordinator(mesh.Addrs(), 5*time.Second).Instrument(o)
+	if _, err := coord.MeasureMesh(context.Background(), livetest.QuickTrain()); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics: 6 ordered pairs, each with a duration and an RTT sample.
+	var expo bytes.Buffer
+	if err := o.Metrics.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	out := expo.String()
+	if !strings.Contains(out, "choreo_cluster_pairs_total 6") {
+		t.Errorf("pairs counter wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "choreo_cluster_pair_seconds_count 6") {
+		t.Errorf("pair histogram wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "choreo_cluster_rtt_seconds_count 6") {
+		t.Errorf("rtt histogram wrong:\n%s", out)
+	}
+	if _, err := obs.ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+
+	// Spans: one mesh span parenting six pair spans, all balanced.
+	evs, err := obs.DecodeEvents(bytes.NewReader(events.Bytes()))
+	if err != nil {
+		t.Fatalf("event log invalid: %v\n%s", err, events.String())
+	}
+	var meshID int64
+	pairs := 0
+	for _, e := range evs {
+		if e.Ev != "start" {
+			continue
+		}
+		switch e.Name {
+		case "cluster.mesh":
+			meshID = e.Span
+			if e.Attrs["agents"] != "3" || e.Attrs["pairs"] != "6" {
+				t.Errorf("mesh span attrs = %v", e.Attrs)
+			}
+		case "cluster.pair":
+			pairs++
+			if e.Parent != meshID {
+				t.Errorf("pair span parent = %d, want mesh %d", e.Parent, meshID)
+			}
+		}
+	}
+	if meshID == 0 || pairs != 6 {
+		t.Errorf("spans: mesh=%d pairs=%d, want 1 mesh + 6 pairs", meshID, pairs)
+	}
+	for _, e := range evs {
+		if e.Ev == "end" && e.Name == "cluster.mesh" && e.Attrs["outcome"] != "ok" {
+			t.Errorf("mesh end outcome = %v", e.Attrs)
+		}
+	}
+}
+
+func TestFailureAttributionByAgentAndCause(t *testing.T) {
+	mesh, err := livetest.Start(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	// Reserve a port and release it so dialing it is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	coord := cluster.NewCoordinator([]string{mesh.Addrs()[0], dead}, 2*time.Second).Instrument(o)
+	if _, err := coord.MeasureMesh(context.Background(), livetest.QuickTrain()); err == nil {
+		t.Fatal("mesh succeeded with an unreachable agent")
+	}
+
+	var expo bytes.Buffer
+	if err := o.Metrics.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	want := `choreo_cluster_failures_total{agent="` + dead + `",cause="dial"} 1`
+	if !strings.Contains(expo.String(), want) {
+		t.Errorf("failure not attributed to agent/cause:\nwant %s\ngot:\n%s", want, expo.String())
+	}
+}
+
+func TestSilentAgentDeadlineCause(t *testing.T) {
+	// An accepting-but-silent peer must count as a deadline failure.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	coord := cluster.NewCoordinator([]string{ln.Addr().String(), ln.Addr().String()}, 500*time.Millisecond)
+	coord.Instrument(o)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := coord.EchoAddr(ctx, 0); err == nil {
+		t.Fatal("EchoAddr succeeded against a silent peer")
+	}
+	var expo bytes.Buffer
+	if err := o.Metrics.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	want := `choreo_cluster_failures_total{agent="` + ln.Addr().String() + `",cause="deadline"} 1`
+	if !strings.Contains(expo.String(), want) {
+		t.Errorf("silent agent not counted as deadline:\n%s", expo.String())
+	}
+}

@@ -1,0 +1,64 @@
+// Package obs is choreo's zero-dependency observability core: a metrics
+// registry (counters, gauges, fixed-bucket histograms — atomic and
+// allocation-free on the hot path) with Prometheus text-format
+// exposition, plus lightweight span tracing emitted as a schema'd JSONL
+// event log.
+//
+// The package's contract with the rest of the repo is that observability
+// lives OFF the data path: instrumentation records wall-clock timings and
+// counts into its own sinks (a registry scraped over HTTP, an event file
+// named by -events) and never touches the rng streams, report writers or
+// float accumulation order that the sweep engine's byte-determinism
+// guarantee rests on. Every sweep golden, shard file and merge output is
+// byte-identical with instrumentation enabled — internal/sweep's
+// TestObservabilityOffDataPath enforces exactly that.
+//
+// Everything is nil-safe by design: a nil *Tracer, nil *Observer, zero
+// Span, or nil *Registry no-ops (the registry hands out unregistered but
+// functional metrics), so instrumented code calls unconditionally and an
+// uninstrumented run pays a nil check, not an allocation.
+package obs
+
+// Attr is one key=value span attribute. Values are strings on the wire;
+// use the String/Int/Float constructors.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: formatInt(v)} }
+
+// Float builds a float attribute (shortest round-trip formatting).
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: formatFloat(v)} }
+
+// Observer bundles the two sinks a subsystem is instrumented against: a
+// metrics registry (scraped) and a span tracer (streamed). Either or
+// both may be nil; a nil *Observer disables all instrumentation.
+type Observer struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// StartSpan opens a span on the observer's tracer; nil-safe in every
+// layer (nil observer, nil tracer), returning a zero Span whose End is a
+// no-op.
+func (o *Observer) StartSpan(parent Span, name string, attrs ...Attr) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.Trace.Start(parent, name, attrs...)
+}
+
+// Registry returns the observer's metrics registry (nil when there is
+// none — *Registry methods are nil-safe and hand out standalone
+// metrics, so callers need no further checks).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromStats summarizes a validated Prometheus exposition.
+type PromStats struct {
+	Families int
+	Samples  int
+	Names    []string // family names, sorted
+}
+
+// ValidatePrometheus parses r as Prometheus text exposition format
+// (version 0.0.4) and validates it: comment syntax, TYPE-before-samples
+// ordering, metric/label name grammar, label-value escaping, float
+// sample values, and histogram consistency (cumulative buckets, +Inf
+// bucket present and equal to _count for every label set). It is the
+// go-side stand-in for promtool used by CI's serve-smoke — errors carry
+// line numbers. It is deliberately stricter than a scraper needs to be:
+// our own exposition must pass it exactly.
+func ValidatePrometheus(r io.Reader) (PromStats, error) {
+	var stats PromStats
+	types := make(map[string]string) // family -> declared type
+	sampled := make(map[string]bool) // family -> has samples
+	helped := make(map[string]bool)  // family -> saw HELP
+	type histSeries struct {
+		buckets []bucketSample
+		sum     *float64
+		count   *float64
+	}
+	hists := make(map[string]map[string]*histSeries) // family -> labelKey -> series
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := parseComment(text, line, types, helped, sampled); err != nil {
+				return stats, err
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(text, line)
+		if err != nil {
+			return stats, err
+		}
+		fam := familyOf(name, types)
+		if _, ok := types[fam]; !ok {
+			return stats, fmt.Errorf("line %d: sample %s without a # TYPE for %s", line, name, fam)
+		}
+		sampled[fam] = true
+		stats.Samples++
+		if types[fam] == "histogram" {
+			if hists[fam] == nil {
+				hists[fam] = make(map[string]*histSeries)
+			}
+			key, le, hasLE := histLabelKey(labels)
+			hs := hists[fam][key]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[fam][key] = hs
+			}
+			switch {
+			case name == fam+"_bucket":
+				if !hasLE {
+					return stats, fmt.Errorf("line %d: %s_bucket without le label", line, fam)
+				}
+				leVal, err := parseFloatValue(le)
+				if err != nil {
+					return stats, fmt.Errorf("line %d: bad le %q: %v", line, le, err)
+				}
+				hs.buckets = append(hs.buckets, bucketSample{le: leVal, cum: value, line: line})
+			case name == fam+"_sum":
+				v := value
+				hs.sum = &v
+			case name == fam+"_count":
+				v := value
+				hs.count = &v
+			default:
+				return stats, fmt.Errorf("line %d: sample %s not a _bucket/_sum/_count of histogram %s", line, name, fam)
+			}
+		} else if name != fam {
+			return stats, fmt.Errorf("line %d: sample %s does not match declared family %s", line, name, fam)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+
+	// Histogram consistency.
+	for fam, byKey := range hists {
+		for key, hs := range byKey {
+			where := fam
+			if key != "" {
+				where = fam + "{" + key + "}"
+			}
+			if len(hs.buckets) == 0 {
+				return stats, fmt.Errorf("histogram %s has no buckets", where)
+			}
+			if hs.count == nil || hs.sum == nil {
+				return stats, fmt.Errorf("histogram %s missing _sum or _count", where)
+			}
+			last := hs.buckets[len(hs.buckets)-1]
+			prev := -1.0
+			var prevCum float64
+			for i, b := range hs.buckets {
+				if i > 0 && b.le <= prev {
+					return stats, fmt.Errorf("line %d: histogram %s buckets not ascending (le %g after %g)", b.line, where, b.le, prev)
+				}
+				if b.cum < prevCum {
+					return stats, fmt.Errorf("line %d: histogram %s buckets not cumulative (%g after %g)", b.line, where, b.cum, prevCum)
+				}
+				prev, prevCum = b.le, b.cum
+			}
+			if !isInf(last.le) {
+				return stats, fmt.Errorf("histogram %s missing +Inf bucket", where)
+			}
+			if last.cum != *hs.count {
+				return stats, fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", where, last.cum, *hs.count)
+			}
+		}
+	}
+
+	for fam := range types {
+		stats.Names = append(stats.Names, fam)
+	}
+	sort.Strings(stats.Names)
+	stats.Families = len(stats.Names)
+	return stats, nil
+}
+
+type bucketSample struct {
+	le   float64
+	cum  float64
+	line int
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }
+
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+func parseComment(text string, line int, types map[string]string, helped, sampled map[string]bool) error {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment, allowed
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("line %d: malformed HELP", line)
+		}
+		fam := fields[2]
+		if !metricNameRe.MatchString(fam) {
+			return fmt.Errorf("line %d: HELP for invalid metric name %q", line, fam)
+		}
+		if helped[fam] {
+			return fmt.Errorf("line %d: duplicate HELP for %s", line, fam)
+		}
+		helped[fam] = true
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("line %d: malformed TYPE", line)
+		}
+		fam, typ := fields[2], strings.TrimSpace(fields[3])
+		if !metricNameRe.MatchString(fam) {
+			return fmt.Errorf("line %d: TYPE for invalid metric name %q", line, fam)
+		}
+		if !promTypes[typ] {
+			return fmt.Errorf("line %d: unknown type %q for %s", line, typ, fam)
+		}
+		if _, dup := types[fam]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %s", line, fam)
+		}
+		if sampled[fam] {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", line, fam)
+		}
+		types[fam] = typ
+	default:
+		// Other comments are free-form and allowed.
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its declared family, folding histogram
+// _bucket/_sum/_count suffixes onto the base name when that base was
+// declared as a histogram.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample parses `name{label="value",...} value` (timestamp
+// deliberately unsupported — we never emit one).
+func parseSample(text string, line int) (name string, labels map[string]string, value float64, err error) {
+	rest := text
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("line %d: malformed sample %q", line, text)
+	}
+	name = rest[:i]
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("line %d: invalid metric name %q", line, name)
+	}
+	rest = rest[i:]
+	labels = map[string]string{}
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if len(rest) > 0 && rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("line %d: malformed labels in %q", line, text)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !labelNameRe.MatchString(lname) && lname != "le" {
+				return "", nil, 0, fmt.Errorf("line %d: invalid label name %q", line, lname)
+			}
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("line %d: unquoted label value in %q", line, text)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for len(rest) > 0 {
+				c := rest[0]
+				if c == '\\' {
+					if len(rest) < 2 {
+						return "", nil, 0, fmt.Errorf("line %d: dangling escape in %q", line, text)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("line %d: bad escape \\%c", line, rest[1])
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '"' {
+					rest = rest[1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("line %d: unterminated label value in %q", line, text)
+			}
+			labels[lname] = val.String()
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("line %d: sample %s has no value", line, name)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("line %d: trailing content after value in %q (timestamps unsupported)", line, text)
+	}
+	value, err = parseFloatValue(rest)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("line %d: bad value %q: %v", line, rest, err)
+	}
+	return name, labels, value, nil
+}
+
+func parseFloatValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// histLabelKey builds a canonical key from labels excluding le, plus
+// the le value itself.
+func histLabelKey(labels map[string]string) (key, le string, hasLE bool) {
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			le = labels[k]
+			hasLE = true
+			continue
+		}
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + `="` + labels[n] + `"`
+	}
+	return strings.Join(parts, ","), le, hasLE
+}

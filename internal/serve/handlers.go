@@ -17,16 +17,47 @@ import (
 //	POST /v1/place    place an application on the current snapshot
 //	POST /v1/migrate  should an existing placement move?
 //	GET  /v1/health   liveness + current epoch
-//	GET  /v1/metrics  counters
+//	GET  /v1/metrics  counters (JSON)
 //	GET  /v1/env      the current snapshot's environment
+//	GET  /metrics     Prometheus text exposition
+//
+// Every endpoint is wrapped in the request-latency/status-code
+// instrumentation; unknown /v1/* paths get a JSON 404 (and known paths
+// with the wrong method a JSON 405) instead of the default mux's
+// plain-text response.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/place", s.handlePlace)
-	mux.HandleFunc("POST /v1/migrate", s.handleMigrate)
-	mux.HandleFunc("GET /v1/health", s.handleHealth)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/env", s.handleEnv)
+	mux.HandleFunc("POST /v1/place", s.instrument("place", s.handlePlace))
+	mux.HandleFunc("POST /v1/migrate", s.instrument("migrate", s.handleMigrate))
+	mux.HandleFunc("GET /v1/health", s.instrument("health", s.handleHealth))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/env", s.instrument("env", s.handleEnv))
+	mux.HandleFunc("GET /metrics", s.instrument("prom", s.handlePromMetrics))
+	mux.HandleFunc("/v1/", s.instrument("unknown", s.handleV1Fallback))
 	return mux
+}
+
+// v1Methods is the API surface the fallback consults: the method each
+// known /v1 path requires. Keep in sync with the registrations above.
+var v1Methods = map[string]string{
+	"/v1/place":   http.MethodPost,
+	"/v1/migrate": http.MethodPost,
+	"/v1/health":  http.MethodGet,
+	"/v1/metrics": http.MethodGet,
+	"/v1/env":     http.MethodGet,
+}
+
+// handleV1Fallback catches every /v1 request the typed routes did not:
+// a known path with the wrong method gets a 405 naming the right one, an
+// unknown path a 404 — both as JSON api.ErrorResponse, so clients never
+// see the default mux's text/plain error page.
+func (s *Server) handleV1Fallback(w http.ResponseWriter, r *http.Request) {
+	if want, ok := v1Methods[r.URL.Path]; ok {
+		w.Header().Set("Allow", want)
+		writeErr(w, http.StatusMethodNotAllowed, "%s requires %s, got %s", r.URL.Path, want, r.Method)
+		return
+	}
+	writeErr(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -50,9 +81,10 @@ func tenantOf(r *http.Request) string {
 // version handshake on the decoded request's "v" field. It returns the
 // current snapshot, or nil after writing the rejection.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, v int) *Snapshot {
-	if !s.quota.allow(tenantOf(r)) {
+	if tenant := tenantOf(r); !s.quota.allow(tenant) {
 		s.rejected.Add(1)
-		writeErr(w, http.StatusTooManyRequests, "tenant %q over quota", tenantOf(r))
+		s.metrics.quotaRejected.With(tenant).Inc()
+		writeErr(w, http.StatusTooManyRequests, "tenant %q over quota", tenant)
 		return nil
 	}
 	if err := api.CheckClientVersion(v); err != nil {

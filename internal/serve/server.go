@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"choreo/internal/obs"
 	"choreo/internal/place"
 	"choreo/internal/sweep/backend"
 )
@@ -35,15 +36,21 @@ type Config struct {
 	// Logf, when non-nil, receives operational log lines (epoch
 	// published, epoch failed).
 	Logf func(format string, args ...interface{})
+	// Obs is the observability sink (metrics + spans). Nil is fine: the
+	// server then builds a private registry so GET /metrics always works,
+	// and span tracing is off.
+	Obs *obs.Observer
 }
 
 // Server owns the snapshot store, quota state and request counters. It
 // is an http.Handler factory plus an epoch loop; listening is left to
 // the caller so tests can use httptest and the CLI owns shutdown.
 type Server struct {
-	cfg   Config
-	store Store
-	quota *quotas
+	cfg     Config
+	store   Store
+	quota   *quotas
+	obs     *obs.Observer
+	metrics serveMetrics
 
 	epochSeq      atomic.Int64 // next epoch number - published count on success
 	epochFailures atomic.Int64
@@ -56,8 +63,23 @@ type Server struct {
 // New builds a server. Call Refresh once before serving: handlers
 // answer 503 until a first snapshot exists.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg, quota: newQuotas(cfg.QuotaRate, cfg.QuotaBurst)}
+	o := cfg.Obs
+	if o == nil {
+		o = &obs.Observer{}
+	}
+	if o.Metrics == nil {
+		// Copy rather than mutate: the caller may share cfg.Obs.
+		o = &obs.Observer{Metrics: obs.NewRegistry(), Trace: o.Trace}
+	}
+	s := &Server{cfg: cfg, quota: newQuotas(cfg.QuotaRate, cfg.QuotaBurst), obs: o}
+	s.initObs()
+	return s
 }
+
+// Obs exposes the server's observer so the owning process can hand the
+// same sinks to its measurement backend (live cluster metrics land in
+// the registry GET /metrics scrapes).
+func (s *Server) Obs() *obs.Observer { return s.obs }
 
 func (s *Server) logf(format string, args ...interface{}) {
 	if s.cfg.Logf != nil {
@@ -75,10 +97,13 @@ func (s *Server) Snapshot() *Snapshot { return s.store.Current() }
 // re-measure degrades staleness, never availability. The context
 // cancels an in-flight mesh measurement (graceful shutdown).
 func (s *Server) Refresh(ctx context.Context) error {
+	span := s.obs.StartSpan(obs.Span{}, "serve.epoch")
 	start := time.Now()
 	env, err := s.cfg.Backend.Measure(ctx, s.cfg.Cell)
 	if err != nil {
 		s.epochFailures.Add(1)
+		s.metrics.epochFailures.With("measure").Inc()
+		span.End(obs.String("outcome", "error"), obs.String("cause", "measure"))
 		return fmt.Errorf("serve: epoch measurement: %w", err)
 	}
 	// Clone defensively: the backend (or its cache) may retain the
@@ -86,6 +111,8 @@ func (s *Server) Refresh(ctx context.Context) error {
 	env = env.Clone()
 	if err := env.Validate(); err != nil {
 		s.epochFailures.Add(1)
+		s.metrics.epochFailures.With("invalid-env").Inc()
+		span.End(obs.String("outcome", "error"), obs.String("cause", "invalid-env"))
 		return fmt.Errorf("serve: epoch produced invalid environment: %w", err)
 	}
 	snap := &Snapshot{
@@ -96,6 +123,9 @@ func (s *Server) Refresh(ctx context.Context) error {
 		Elapsed:   time.Since(start),
 	}
 	s.store.Publish(snap)
+	s.metrics.epochSeconds.Observe(snap.Elapsed.Seconds())
+	span.End(obs.String("outcome", "ok"),
+		obs.Int("epoch", snap.Epoch), obs.Int("machines", int64(env.Machines())))
 	s.logf("epoch %d published: %d machines, measured in %.2fs, env %s",
 		snap.Epoch, env.Machines(), snap.Elapsed.Seconds(), snap.Hash)
 	return nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"choreo/internal/cluster"
+	"choreo/internal/obs"
 	"choreo/internal/place"
 	"choreo/internal/probe"
 	"choreo/internal/profile"
@@ -33,6 +34,10 @@ type LiveConfig struct {
 	// entries carry it, so measurements from different epochs — the
 	// mesh drifts between sweeps — are never conflated.
 	Epoch int64
+	// Obs, when non-nil, instruments every mesh the backend runs:
+	// per-pair/RTT histograms and per-agent failure counters in its
+	// registry, mesh/pair spans in its tracer.
+	Obs *obs.Observer
 }
 
 // Live measures cells against a real choreo-agent fleet: each cell's VM
@@ -132,7 +137,7 @@ func (l *Live) Measure(ctx context.Context, c Cell) (*place.Environment, error) 
 	if err != nil {
 		return nil, err
 	}
-	coord := cluster.NewCoordinator(addrs, l.cfg.Timeout)
+	coord := cluster.NewCoordinator(addrs, l.cfg.Timeout).Instrument(l.cfg.Obs)
 	l.mu.Lock()
 	mesh, err := coord.MeasureMesh(ctx, l.cfg.Train)
 	l.mu.Unlock()

@@ -142,6 +142,13 @@ type Stats struct {
 	MeasurementHits     int64 `json:"measurementHits,omitempty"`
 	MeasurementMisses   int64 `json:"measurementMisses,omitempty"`
 	MeasurementResident int   `json:"measurementResident,omitempty"`
+
+	// Evictions counts entries released by their last planned fetch.
+	// Excluded from JSON on purpose: Stats is serialized into sweep
+	// reports, whose bytes are pinned by goldens — these counters feed
+	// the obs registry only.
+	Evictions            int64 `json:"-"`
+	MeasurementEvictions int64 `json:"-"`
 }
 
 // entry is one cached cell with its build-once latch and remaining-use
@@ -180,6 +187,9 @@ type Cache struct {
 	measPlanned map[Key]int
 	measHits    atomic.Int64
 	measMisses  atomic.Int64
+
+	evictions     atomic.Int64
+	measEvictions atomic.Int64
 }
 
 // New returns a cache expecting every key to be fetched usesPerKey times;
@@ -241,6 +251,7 @@ func (c *Cache) Get(key Key, build func() (*Cell, error)) (*Cell, error) {
 		e.remaining--
 		if e.remaining <= 0 {
 			delete(c.entries, key)
+			c.evictions.Add(1)
 		}
 	}
 	c.mu.Unlock()
@@ -297,6 +308,7 @@ func (c *Cache) GetMeasurement(key Key, build func() (*place.Environment, error)
 	e.remaining--
 	if e.remaining <= 0 {
 		delete(c.measEntries, key)
+		c.measEvictions.Add(1)
 	}
 	c.mu.Unlock()
 
@@ -319,9 +331,11 @@ func (c *Cache) Stats() Stats {
 	c.mu.Unlock()
 	return Stats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(), Resident: c.Len(),
-		MeasurementHits:     c.measHits.Load(),
-		MeasurementMisses:   c.measMisses.Load(),
-		MeasurementResident: measResident,
+		MeasurementHits:      c.measHits.Load(),
+		MeasurementMisses:    c.measMisses.Load(),
+		MeasurementResident:  measResident,
+		Evictions:            c.evictions.Load(),
+		MeasurementEvictions: c.measEvictions.Load(),
 	}
 }
 

@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"choreo/internal/obs"
+	"choreo/internal/sweep/envcache"
+)
+
+// runObs carries one sweep run's observability state: the observer, the
+// registered metric handles and the run span every cell span parents
+// under. It is always non-nil inside RunStream — with no observer the
+// handles are standalone no-reader metrics and the spans are zero — so
+// the engine instruments unconditionally and the data path never
+// branches on "is observability on". Everything here records wall-clock
+// and counts into obs sinks only; the result bytes flowing through Emit
+// are untouched (see TestObservabilityOffDataPath).
+type runObs struct {
+	o       *obs.Observer
+	runSpan obs.Span
+
+	cellSeconds  *obs.Histogram    // choreo_sweep_cell_seconds
+	phaseSeconds *obs.HistogramVec // choreo_sweep_phase_seconds{phase}
+	reorderDepth *obs.Gauge        // choreo_sweep_reorder_depth
+	workersGauge *obs.Gauge        // choreo_sweep_workers
+	utilization  *obs.Gauge        // choreo_sweep_worker_utilization
+
+	busyNs atomic.Int64 // total cell wall-clock, for utilization
+}
+
+func newRunObs(o *obs.Observer) *runObs {
+	r := o.Registry()
+	return &runObs{
+		o: o,
+		cellSeconds: r.Histogram("choreo_sweep_cell_seconds",
+			"Wall-clock duration of one sweep cell (build + place + execute).",
+			obs.DurationBuckets()),
+		phaseSeconds: r.HistogramVec("choreo_sweep_phase_seconds",
+			"Wall-clock duration of sweep cell phases.", obs.DurationBuckets(), "phase"),
+		reorderDepth: r.Gauge("choreo_sweep_reorder_depth",
+			"Results completed but waiting for expansion-order predecessors."),
+		workersGauge: r.Gauge("choreo_sweep_workers",
+			"Worker pool size of the current sweep run."),
+		utilization: r.Gauge("choreo_sweep_worker_utilization",
+			"Fraction of worker wall-clock spent inside cells over the last run."),
+	}
+}
+
+// start opens the run span and records the resolved pool size.
+func (ro *runObs) start(g *Grid, scenarios, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ro.workersGauge.Set(float64(workers))
+	ro.runSpan = ro.o.StartSpan(obs.Span{}, "sweep.run",
+		obs.String("backend", g.backendName()),
+		obs.Int("scenarios", int64(scenarios)),
+		obs.Int("workers", int64(workers)))
+}
+
+// finish closes the run span and derives worker utilization: the share
+// of (workers × wall-clock) actually spent inside cells.
+func (ro *runObs) finish(wall time.Duration, outcome string) {
+	workers := ro.workersGauge.Value()
+	if workers > 0 && wall > 0 {
+		ro.utilization.Set(float64(ro.busyNs.Load()) / (workers * float64(wall.Nanoseconds())))
+	}
+	ro.runSpan.End(obs.String("outcome", outcome))
+}
+
+// phase records one phase duration. Nil-safe: runScenario is reachable
+// from the exported Run* entry points only, which always build a runObs,
+// but the guard keeps a future direct caller from tripping.
+func (ro *runObs) phase(name string, start time.Time) {
+	if ro == nil {
+		return
+	}
+	ro.phaseSeconds.With(name).Observe(time.Since(start).Seconds())
+}
+
+// phaseDur records a phase whose duration the caller already measured
+// (placement latency is part of the result contract, not re-timed).
+func (ro *runObs) phaseDur(name string, d time.Duration) {
+	if ro == nil {
+		return
+	}
+	ro.phaseSeconds.With(name).Observe(d.Seconds())
+}
+
+// span opens a span on the run's observer under the given parent.
+func (ro *runObs) span(parent obs.Span, name string, attrs ...obs.Attr) obs.Span {
+	if ro == nil {
+		return obs.Span{}
+	}
+	return ro.o.StartSpan(parent, name, attrs...)
+}
+
+// cellSpan opens one cell's span under the run span.
+func (ro *runObs) cellSpan(sc Scenario) obs.Span {
+	if ro == nil {
+		return obs.Span{}
+	}
+	return ro.o.StartSpan(ro.runSpan, "sweep.cell",
+		obs.String("topology", sc.Topology.Name),
+		obs.String("workload", sc.Workload.Name),
+		obs.String("algorithm", sc.Algorithm.Name),
+		obs.Int("seed", sc.Seed),
+		obs.Int("vms", int64(sc.VMs)))
+}
+
+// cellDone folds a finished cell into the histograms.
+func (ro *runObs) cellDone(d time.Duration) {
+	if ro == nil {
+		return
+	}
+	ro.cellSeconds.Observe(d.Seconds())
+	ro.busyNs.Add(d.Nanoseconds())
+}
+
+// depth records the reorder buffer's occupancy after a delivery.
+func (ro *runObs) depth(n int) {
+	if ro == nil {
+		return
+	}
+	ro.reorderDepth.Set(float64(n))
+}
+
+// registerCacheFuncs bridges the envcache counters into the registry so
+// a scrape mid-run (choreo serve) or the final exposition sees cache
+// effectiveness without the cache knowing about obs. Registered
+// per-run; re-registration replaces the previous run's closure.
+func (ro *runObs) registerCacheFuncs(cache *envcache.Cache) {
+	r := ro.o.Registry()
+	if r == nil {
+		return
+	}
+	r.CounterFunc("choreo_envcache_hits_total",
+		"Environment-cache cell hits.",
+		func() float64 { return float64(cache.Stats().Hits) })
+	r.CounterFunc("choreo_envcache_misses_total",
+		"Environment-cache cell misses (cells actually built).",
+		func() float64 { return float64(cache.Stats().Misses) })
+	r.CounterFunc("choreo_envcache_evictions_total",
+		"Environment-cache entries released by their last planned fetch.",
+		func() float64 { return float64(cache.Stats().Evictions) })
+	r.GaugeFunc("choreo_envcache_resident",
+		"Environment-cache entries currently resident.",
+		func() float64 { return float64(cache.Stats().Resident) })
+}

@@ -12,6 +12,7 @@ import (
 	"choreo/internal/core"
 	"choreo/internal/ilp"
 	"choreo/internal/netsim"
+	"choreo/internal/obs"
 	"choreo/internal/place"
 	"choreo/internal/profile"
 	"choreo/internal/sweep/backend"
@@ -142,17 +143,34 @@ func (g *Grid) newOrchestrator(sc Scenario, seed int64) (*core.Choreo, error) {
 // backend's measured rate matrix for the cell's cloud, and the
 // application to place. This is the expensive, cacheable half of a
 // scenario — every algorithm of a cell group (and the optimal
-// reference) shares its output.
-func (g *Grid) buildCell(ctx context.Context, sc Scenario) (*envcache.Cell, error) {
+// reference) shares its output. The build and measure spans parent
+// under the calling cell's span (stashed in ctx); a live backend's
+// cluster.mesh span parents under the measure span the same way.
+func (g *Grid) buildCell(ctx context.Context, sc Scenario, ro *runObs) (*envcache.Cell, error) {
+	buildStart := time.Now()
+	bspan := ro.span(obs.SpanFromContext(ctx), "sweep.build")
 	seed := sc.cloudSeed()
 	app, err := g.buildApplication(sc, seed)
 	if err != nil {
+		bspan.End(obs.String("outcome", "error"))
 		return nil, err
 	}
-	env, err := g.backend().Measure(ctx, g.backendCell(sc))
+	measureStart := time.Now()
+	mspan := ro.span(bspan, "sweep.measure")
+	mctx := ctx
+	if mspan.ID() != 0 {
+		mctx = obs.ContextWithSpan(ctx, mspan)
+	}
+	env, err := g.backend().Measure(mctx, g.backendCell(sc))
 	if err != nil {
+		mspan.End(obs.String("outcome", "error"))
+		bspan.End(obs.String("outcome", "error"))
 		return nil, fmt.Errorf("sweep: measuring %s: %w", sc.Topology.Name, err)
 	}
+	mspan.End(obs.String("outcome", "ok"))
+	ro.phase("measure", measureStart)
+	bspan.End(obs.String("outcome", "ok"))
+	ro.phase("build", buildStart)
 	return &envcache.Cell{Env: env, App: app}, nil
 }
 
@@ -318,16 +336,23 @@ func (g *Grid) buildSequenceCell(sc Scenario, cache *envcache.Cache) (*envcache.
 // already running, and migrating when re-evaluation predicts enough
 // gain. There is no optimal reference: the §6.3 comparison is
 // total running time across algorithms, not slowdown vs. an optimum.
-func (g *Grid) runSequenceScenario(sc Scenario, cache *envcache.Cache) (Result, error) {
+func (g *Grid) runSequenceScenario(ctx context.Context, sc Scenario, cache *envcache.Cache, ro *runObs) (Result, error) {
+	buildStart := time.Now()
+	bspan := ro.span(obs.SpanFromContext(ctx), "sweep.build")
 	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildSequenceCell(sc, cache) })
 	if err != nil {
+		bspan.End(obs.String("outcome", "error"))
 		return Result{}, err
 	}
+	bspan.End(obs.String("outcome", "ok"))
+	ro.phase("build", buildStart)
 	exec, err := g.newOrchestrator(sc, sc.cloudSeed())
 	if err != nil {
 		return Result{}, err
 	}
+	execStart := time.Now()
 	cres, err := sequence.Run(exec, cell.Seq, sc.Algorithm.Core, cell.CloneEnv(), g.sequenceParams(sc))
+	ro.phase("execute", execStart)
 	if err != nil {
 		return Result{}, fmt.Errorf("sweep: sequence %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
@@ -361,27 +386,34 @@ func (g *Grid) runSequenceScenario(sc Scenario, cache *envcache.Cache) (Result, 
 // optimal reference. Sequence cells dispatch to runSequenceScenario
 // instead. A nil cache builds every cell from scratch; for the sim
 // backend the result bytes are identical either way.
-func (g *Grid) runScenario(ctx context.Context, sc Scenario, cache *envcache.Cache) (Result, error) {
+func (g *Grid) runScenario(ctx context.Context, sc Scenario, cache *envcache.Cache, ro *runObs) (Result, error) {
 	if g.Mode == Sequence {
-		return g.runSequenceScenario(sc, cache)
+		return g.runSequenceScenario(ctx, sc, cache, ro)
 	}
-	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildCell(ctx, sc) })
+	cell, err := cache.Get(g.CellKey(sc), func() (*envcache.Cell, error) { return g.buildCell(ctx, sc, ro) })
 	if err != nil {
 		return Result{}, err
 	}
 	rng := rand.New(rand.NewSource(sc.cloudSeed() + 1))
+	pspan := ro.span(obs.SpanFromContext(ctx), "sweep.place",
+		obs.String("algorithm", sc.Algorithm.Name))
 	start := time.Now()
 	p, err := g.place(sc, cell, rng)
 	latency := time.Since(start)
 	if err != nil {
+		pspan.End(obs.String("outcome", "error"))
 		return Result{}, fmt.Errorf("sweep: placing %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
 	}
+	pspan.End(obs.String("outcome", "ok"))
+	ro.phaseDur("place", latency)
+	execStart := time.Now()
 	completion, err := g.backend().Execute(ctx, g.backendCell(sc), cell.App, cell.Env, p, g.Model)
 	if err != nil {
 		return Result{}, fmt.Errorf("sweep: executing %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
 	}
+	ro.phase("execute", execStart)
 
 	res := Result{
 		Topology:          sc.Topology.Name,
@@ -485,6 +517,12 @@ type RunOptions struct {
 	// resumed run reproduces the uninterrupted run's bytes. Entries for
 	// indices the run does not include are ignored.
 	Prefilled map[int]Result
+	// Obs, when non-nil, instruments the run: cell/phase histograms,
+	// reorder-buffer depth and worker-utilization gauges in its registry,
+	// run/cell/build/measure/place/report spans in its tracer. The
+	// emitted result bytes are identical with or without it —
+	// TestObservabilityOffDataPath enforces that.
+	Obs *obs.Observer
 }
 
 // RunStream expands the grid and executes every scenario across the
@@ -549,6 +587,13 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 		}
 	}
 
+	ro := newRunObs(opts.Obs)
+	ro.registerCacheFuncs(cache)
+	wallStart := time.Now()
+	ro.start(&g, len(scenarios), opts.Workers)
+	outcome := "error"
+	defer func() { ro.finish(time.Since(wallStart), outcome) }()
+
 	agg := NewAggregator(g.algorithmNames(), g.Timing)
 
 	// Reorder buffer: workers finish out of order, the stream is emitted
@@ -575,21 +620,29 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 			return
 		}
 		pending[pos] = r
+		ro.depth(len(pending))
 		for {
 			due, ok := pending[next]
 			if !ok {
 				return
 			}
 			delete(pending, next)
+			ro.depth(len(pending))
 			next++
 			agg.Add(due)
 			if opts.Emit != nil {
-				if emitErr = opts.Emit(due); emitErr != nil {
+				rspan := ro.span(ro.runSpan, "sweep.report", obs.Int("pos", int64(next-1)))
+				reportStart := time.Now()
+				emitErr = opts.Emit(due)
+				ro.phase("report", reportStart)
+				if emitErr != nil {
 					// The destination is gone (full disk, closed pipe).
+					rspan.End(obs.String("outcome", "error"))
 					aborted.Store(true)
 					pending = nil
 					return
 				}
+				rspan.End(obs.String("outcome", "ok"))
 			}
 		}
 	}
@@ -608,14 +661,24 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 			return nil
 		}
 		i := toRun[k]
-		r, err := g.runScenario(ctx, scenarios[i], cache)
+		sc := scenarios[i]
+		span := ro.cellSpan(sc)
+		cctx := ctx
+		if span.ID() != 0 {
+			cctx = obs.ContextWithSpan(ctx, span)
+		}
+		cellStart := time.Now()
+		r, err := g.runScenario(cctx, sc, cache, ro)
 		if err != nil {
+			span.End(obs.String("outcome", "error"))
 			aborted.Store(true)
 			mu.Lock()
 			pending = nil
 			mu.Unlock()
 			return err
 		}
+		ro.cellDone(time.Since(cellStart))
+		span.End(obs.String("outcome", "ok"))
 		deliver(rank[i], r)
 		return nil
 	})
@@ -637,6 +700,7 @@ func RunStream(g Grid, opts RunOptions) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	outcome = "ok"
 	return &Summary{
 		Grid:       g.summary(len(scenarios)),
 		Algorithms: aggs,
