@@ -63,7 +63,8 @@ sweep-smoke: build
 	$(BIN)/choreo sweep -workers 8 -stream -events $(BIN)/sweep-events.jsonl -out $(BIN)/sweep-s8e.jsonl
 	cmp $(BIN)/sweep-s1.jsonl $(BIN)/sweep-s8e.jsonl
 	$(BIN)/choreo obs validate-events $(BIN)/sweep-events.jsonl
-	@echo "sweep output is byte-identical across worker counts, cache states and with -events tracing on"
+	$(BIN)/choreo obs report $(BIN)/sweep-events.jsonl | grep -q 'critical path'
+	@echo "sweep output is byte-identical across worker counts, cache states and with -events tracing on; obs report analyzed the span log"
 
 # The distributed-sweep acceptance check: the default grid run as 3
 # shards and merged must be byte-identical to the unsharded stream, and
@@ -111,6 +112,10 @@ sweep-seq-smoke: build
 # -resume, which parses every line back to its scenario identity (the
 # same machinery shards and merges use). The replay needs no agents:
 # nothing re-runs, proving resume really skips measured cells.
+# Observability rides the same run: the traced sweep must produce one
+# stitched event log containing agent-side spans (proof the v3 trace
+# context crossed the process boundary), and a fleet metrics scrape
+# must merge into a valid exposition with per-agent labels.
 LIVE_AGENTS = 127.0.0.1:17131,127.0.0.1:17132,127.0.0.1:17133
 LIVE_FLAGS = -backend live -agents $(LIVE_AGENTS) \
 	-topologies ec2-2013 -workloads shuffle -vms 3 -mean-mb 64 \
@@ -123,17 +128,25 @@ sweep-live-smoke: build
 	$(BIN)/choreo-agent -listen 127.0.0.1:17133 & a3=$$!; \
 	trap 'kill $$a1 $$a2 $$a3 2>/dev/null || true' EXIT; \
 	sleep 1; \
-	$(BIN)/choreo sweep $(LIVE_FLAGS) -stream -out $(BIN)/live-run1.jsonl; \
+	$(BIN)/choreo agents health -agents $(LIVE_AGENTS); \
+	$(BIN)/choreo sweep $(LIVE_FLAGS) -stream -events $(BIN)/live-events.jsonl -out $(BIN)/live-run1.jsonl; \
 	$(BIN)/choreo sweep $(LIVE_FLAGS) -stream -out $(BIN)/live-run2.jsonl; \
 	head -n 1 $(BIN)/live-run1.jsonl > $(BIN)/live-grid1.json; \
 	head -n 1 $(BIN)/live-run2.jsonl > $(BIN)/live-grid2.json; \
 	cmp $(BIN)/live-grid1.json $(BIN)/live-grid2.json; \
 	n1=$$(wc -l < $(BIN)/live-run1.jsonl); n2=$$(wc -l < $(BIN)/live-run2.jsonl); \
 	[ "$$n1" -eq "$$n2" ]; \
+	$(BIN)/choreo obs validate-events $(BIN)/live-events.jsonl; \
+	grep -q '"name":"agent.train"' $(BIN)/live-events.jsonl; \
+	$(BIN)/choreo obs report $(BIN)/live-events.jsonl | grep -q 'agent.train'; \
+	$(BIN)/choreo agents metrics -agents $(LIVE_AGENTS) > $(BIN)/live-agents.prom; \
+	$(BIN)/choreo obs validate-prom $(BIN)/live-agents.prom; \
+	grep -q 'agent="127.0.0.1:17131"' $(BIN)/live-agents.prom; \
+	grep -q 'choreo_agent_trains_total' $(BIN)/live-agents.prom; \
 	kill $$a1 $$a2 $$a3 2>/dev/null || true; \
 	$(BIN)/choreo sweep $(LIVE_FLAGS) -stream -resume $(BIN)/live-run1.jsonl -out $(BIN)/live-replay.jsonl; \
 	cmp $(BIN)/live-run1.jsonl $(BIN)/live-replay.jsonl
-	@echo "live-mesh sweep output is schema-stable across runs and replays byte-identically through -resume"
+	@echo "live-mesh sweep is schema-stable, replays through -resume, stitched agent spans into one trace and served a merged fleet scrape"
 
 # The placement-service acceptance check (sim backend): start the
 # server, place the same application twice through the versioned client,

@@ -26,7 +26,7 @@ import (
 // Quota rejections (429) are counted separately and are not errors:
 // pushing a quota-limited server past its limit is a legitimate load
 // test.
-func runLoad(args []string) error {
+func runLoad(args []string) (err error) {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	server := fs.String("server", "", "placement service base URL, e.g. http://127.0.0.1:7180")
 	clients := fs.Int("clients", 8, "concurrent clients")
@@ -34,6 +34,7 @@ func runLoad(args []string) error {
 	minEpochs := fs.Int("min-epochs", 0, "fail unless responses span at least this many distinct measurement epochs")
 	tasks := fs.Int("tasks", 6, "tasks in the generated test application")
 	tenant := fs.String("tenant", "load", "tenant header sent with every request")
+	events := fs.String("events", "", "write a schema'd JSONL span log (load.run + one load.request per placement call) to this file; join with the server's -events in `choreo obs report`")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +44,16 @@ func runLoad(args []string) error {
 	if *clients < 1 || *tasks < 2 {
 		return fmt.Errorf("need -clients >= 1 and -tasks >= 2")
 	}
+
+	traceObs, closeEvents, err := eventsObserver(*events)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := closeEvents(); e != nil && err == nil {
+			err = fmt.Errorf("-events %s: %w", *events, e)
+		}
+	}()
 
 	// A ring-shuffle test application: every task ships 50 MB to its
 	// successor, so placement has real traffic to optimize.
@@ -66,6 +77,8 @@ func runLoad(args []string) error {
 	// One latency histogram shared by every client: Observe is atomic,
 	// so the goroutines fold into it without a lock.
 	latency := obs.NewHistogram(obs.DurationBuckets())
+	runSpan := traceObs.StartSpan(obs.Span{}, "load.run",
+		obs.String("server", *server), obs.Int("clients", int64(*clients)))
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < *clients; i++ {
@@ -78,9 +91,11 @@ func runLoad(args []string) error {
 			rng := rand.New(rand.NewSource(int64(id)))
 			for ctx.Err() == nil {
 				reqStart := time.Now()
+				sp := traceObs.StartSpan(runSpan, "load.request", obs.Int("client", int64(id)))
 				resp, err := c.Place(ctx, api.PlaceRequest{App: app})
 				switch {
 				case err == nil:
+					sp.End(obs.String("outcome", "ok"), obs.Int("epoch", resp.Epoch))
 					t.ok++
 					latency.Observe(time.Since(reqStart).Seconds())
 					if prev, seen := t.epochHash[resp.Epoch]; seen && prev != resp.EnvHash {
@@ -89,13 +104,16 @@ func runLoad(args []string) error {
 					}
 					t.epochHash[resp.Epoch] = resp.EnvHash
 				case isQuota(err):
+					sp.End(obs.String("outcome", "quota"))
 					t.rejected++
 					// Back off a beat so a quota-limited run still makes
 					// progress instead of burning the bucket dry.
 					time.Sleep(time.Duration(50+rng.Intn(50)) * time.Millisecond)
 				case ctx.Err() != nil:
+					sp.End(obs.String("outcome", "canceled"))
 					return // the deadline interrupted an in-flight request
 				default:
+					sp.End(obs.String("outcome", "error"))
 					t.failed++
 					var se *api.StatusError
 					if errors.As(err, &se) && se.Code >= 500 {
@@ -111,6 +129,7 @@ func runLoad(args []string) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	runSpan.End(obs.String("outcome", "done"))
 
 	total, rejected, failed, server5xx := 0, 0, 0, 0
 	epochHash := make(map[int64]string)

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"choreo/internal/obs"
 )
@@ -38,17 +41,19 @@ func eventsObserver(path string) (*obs.Observer, func() error, error) {
 	return o, closeFn, nil
 }
 
-// runObsCmd is `choreo obs <validate-prom|validate-events> [file]`: the
-// repo's own validators for the two observability formats, so CI can
-// check a /metrics scrape or a -events log without promtool or jq
-// schema hacks. Reads the file argument or stdin; exits non-zero with
-// a line-precise error on malformed input.
+// runObsCmd is `choreo obs <validate-prom|validate-events|report>
+// [file]`: the repo's own validators for the two observability formats
+// (so CI can check a /metrics scrape or a -events log without promtool
+// or jq schema hacks) plus the offline span-log analyzer. Reads the
+// file argument or stdin; exits non-zero with a line-precise error on
+// malformed input.
 func runObsCmd(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: choreo obs <validate-prom|validate-events> [file]")
+		return fmt.Errorf("usage: choreo obs <validate-prom|validate-events|report> [file]")
 	}
 	sub, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("obs "+sub, flag.ExitOnError)
+	top := fs.Int("top", 5, "report: how many slowest spans to list")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -87,8 +92,90 @@ func runObsCmd(args []string) error {
 		}
 		fmt.Printf("%s: valid event log: %d events, %d balanced spans\n",
 			src, len(evs), spans)
+	case "report":
+		evs, err := obs.DecodeEvents(bufio.NewReader(r))
+		if err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+		return obsReport(os.Stdout, src, evs, *top)
 	default:
-		return fmt.Errorf("obs: unknown subcommand %q (validate-prom or validate-events)", sub)
+		return fmt.Errorf("obs: unknown subcommand %q (validate-prom, validate-events or report)", sub)
 	}
 	return nil
+}
+
+// obsReport turns a span log into answers: per-name aggregates (count,
+// total, exact p50/p99 from raw durations), the critical path through
+// the longest trace (the last-finisher chain — what actually set the
+// wall clock), and the top-N slowest individual spans with their
+// attributes, so "which cell/pair was slow" needs no jq.
+func obsReport(w io.Writer, src string, events []obs.Event, top int) error {
+	forest := obs.BuildForest(events)
+	stats := obs.AggregateByName(events)
+	spans := 0
+	for _, e := range events {
+		if e.Ev == "start" {
+			spans++
+		}
+	}
+	fmt.Fprintf(w, "%s: %d events, %d spans, %d roots\n\n", src, len(events), spans, len(forest))
+	if len(forest) == 0 {
+		fmt.Fprintln(w, "no spans recorded")
+		return nil
+	}
+
+	fmt.Fprintf(w, "%-24s %7s %12s %12s %12s %12s\n", "span", "count", "total", "p50", "p99", "max")
+	for _, st := range stats {
+		fmt.Fprintf(w, "%-24s %7d %12s %12s %12s %12s\n", st.Name, st.Count,
+			fmtNs(st.TotalNs), fmtNs(st.P50Ns), fmtNs(st.P99Ns), fmtNs(st.MaxNs))
+	}
+
+	longest := forest[0]
+	for _, rt := range forest[1:] {
+		if rt.DurNs > longest.DurNs {
+			longest = rt
+		}
+	}
+	fmt.Fprintf(w, "\ncritical path (root %s, %s):\n", longest.Name, fmtNs(longest.DurNs))
+	for i, n := range obs.CriticalPath(longest) {
+		fmt.Fprintf(w, "  %s%s %s%s\n", strings.Repeat("  ", i), n.Name, fmtNs(n.DurNs), attrSuffix(n.Attrs))
+	}
+
+	fmt.Fprintf(w, "\nslowest %d spans:\n", top)
+	recs := obs.FlattenSpans(events)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].DurNs > recs[j].DurNs })
+	if len(recs) > top {
+		recs = recs[:top]
+	}
+	for _, rec := range recs {
+		fmt.Fprintf(w, "  %-24s %12s%s\n", rec.Name, fmtNs(rec.DurNs), attrSuffix(rec.Attrs))
+	}
+	return nil
+}
+
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// attrSuffix renders span attributes as a deterministic " {k=v ...}"
+// suffix (empty for attribute-free spans).
+func attrSuffix(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(" {")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, attrs[k])
+	}
+	b.WriteByte('}')
+	return b.String()
 }

@@ -37,6 +37,7 @@ func runServe(args []string) (err error) {
 	interval := fs.Duration("interval", 5*time.Minute, "background re-measurement interval (0 disables re-measuring)")
 	quotaRate := fs.Float64("quota-rate", 0, "per-tenant requests/second on place+migrate (0 = unlimited)")
 	quotaBurst := fs.Int("quota-burst", 10, "per-tenant burst depth for -quota-rate")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (live profiling; exposes process internals — keep the listener private)")
 	fleet := registerFleetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +69,7 @@ func runServe(args []string) (err error) {
 		Interval:   *interval,
 		QuotaRate:  *quotaRate,
 		QuotaBurst: *quotaBurst,
+		Pprof:      *pprofFlag,
 		Seed:       *seed,
 		Logf: func(format string, a ...interface{}) {
 			fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)

@@ -2,12 +2,15 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"choreo/internal/obs"
 	"choreo/internal/probe"
 	"choreo/internal/units"
 )
@@ -16,15 +19,31 @@ import (
 // of the coordinator and choreo-agent. Version 1 is the original,
 // unversioned wire format (requests and responses without a "v" field
 // decode as version 0 and are treated as v1). Both sides echo the
-// version on every message and refuse mismatches with a precise
-// "speaks vN, need vM" error, so a coordinator talking to a stale agent
-// fails immediately instead of hanging on a half-understood exchange.
+// version on every message; a version the agent cannot speak is refused
+// with a precise "speaks vN" error, so a coordinator talking to a stale
+// agent fails immediately instead of hanging on a half-understood
+// exchange.
 //
 // History:
 //
 //	v1: unversioned original protocol
-//	v2: added the version handshake itself
-const ProtocolVersion = 2
+//	v2: added the version handshake itself (strict equality both ways)
+//	v3: optional trace context on requests (traceId/traceSpan/peer),
+//	    completed agent spans + machine-readable errCause + uptime on
+//	    responses, and the "metrics" scrape op
+//
+// From v3 on, the agent accepts any version in
+// [MinProtocolVersion, ProtocolVersion] and replies at the requester's
+// version, so old coordinators keep working; the v3 coordinator
+// likewise downgrades a session to v2 when a shipped v2 agent refuses a
+// v3 request (the refusal carries the agent's version, which is the
+// handshake).
+const ProtocolVersion = 3
+
+// MinProtocolVersion is the oldest protocol revision this build still
+// speaks. v1 is out: it predates the handshake, so a v1 peer cannot be
+// negotiated with — only refused.
+const MinProtocolVersion = 2
 
 // protocolVersionOf normalizes a wire version: a missing field (0) is
 // the pre-handshake v1 format.
@@ -51,6 +70,31 @@ type Request struct {
 	DurationMs int64  `json:"durationMs,omitempty"`
 	RTTNs      int64  `json:"rttNs,omitempty"`
 	Count      int    `json:"count,omitempty"`
+
+	// Trace context (v3). TraceID scopes span IDs to one coordinator
+	// run; TraceSpan is the coordinator-side span the agent's spans are
+	// children of. Peer is the control address of the agent on the other
+	// end of the measured path, so agent-side per-peer metrics label by
+	// stable control address instead of ephemeral data ports. All
+	// optional: absent means the requester is not tracing (or speaks v2,
+	// where the coordinator strips them).
+	TraceID   string `json:"traceId,omitempty"`
+	TraceSpan int64  `json:"traceSpan,omitempty"`
+	Peer      string `json:"peer,omitempty"`
+}
+
+// SpanJSON is one completed agent-side span shipped back in a v3
+// response. IDs are agent-local (scoped to the request's TraceID);
+// Parent 0 means "the coordinator span named by the request's
+// TraceSpan". The coordinator re-emits these into its own event log
+// with fresh local IDs — see Coordinator stitching.
+type SpanJSON struct {
+	ID     int64             `json:"id"`
+	Parent int64             `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	WallNs int64             `json:"wallNs"`
+	DurNs  int64             `json:"durNs"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
 }
 
 // BurstJSON serializes one burst observation.
@@ -71,26 +115,64 @@ type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
+	// ErrCause is a machine-readable classification of Error (v3):
+	// "train", "rtt", "bulk" or "proto". The coordinator folds it into
+	// its failure counter as "agent-<cause>", so an incident dashboard
+	// separates a failed train from a refused protocol version.
+	ErrCause string `json:"errCause,omitempty"`
+
 	Port     int         `json:"port,omitempty"`
 	EchoPort int         `json:"echoPort,omitempty"`
 	Bursts   []BurstJSON `json:"bursts,omitempty"`
 	RTTNs    int64       `json:"rttNs,omitempty"`
 	RateBits float64     `json:"rateBits,omitempty"`
 	Bytes    int64       `json:"bytes,omitempty"`
+
+	// v3 additions. TraceID echoes the request's trace so the
+	// coordinator discards spans from a stale exchange; Spans are the
+	// agent-side child spans of the traced operation; UptimeMs rides the
+	// info reply; Metrics carries the agent's Prometheus exposition for
+	// the "metrics" op.
+	TraceID  string     `json:"traceId,omitempty"`
+	Spans    []SpanJSON `json:"spans,omitempty"`
+	UptimeMs int64      `json:"uptimeMs,omitempty"`
+	Metrics  string     `json:"metrics,omitempty"`
 }
 
 // Agent is the per-VM measurement daemon: it answers control requests on
-// a TCP socket and runs an always-on UDP echo responder.
+// a TCP socket, runs an always-on UDP echo responder, and hosts its own
+// metrics registry so `choreo agents metrics` can scrape the fleet.
 type Agent struct {
-	ln   net.Listener
-	echo *EchoServer
-	ip   string
-	wg   sync.WaitGroup
+	ln    net.Listener
+	echo  *EchoServer
+	ip    string
+	ver   int // highest protocol version this agent speaks
+	start time.Time
+	met   *agentMetrics
+	wg    sync.WaitGroup
 }
 
 // StartAgent binds the control listener on addr (e.g. "127.0.0.1:0") and
 // serves until Close.
 func StartAgent(addr string) (*Agent, error) {
+	return startAgent(addr, ProtocolVersion)
+}
+
+// StartAgentCompat starts an agent pinned to an older protocol version —
+// a stand-in for a shipped binary that predates this build, used by
+// mixed-fleet tests. A pinned agent reproduces the old strict-equality
+// handshake: it refuses any request version other than its own, never
+// emits spans, error causes or uptime, and does not know the "metrics"
+// op.
+func StartAgentCompat(addr string, version int) (*Agent, error) {
+	if version < MinProtocolVersion || version > ProtocolVersion {
+		return nil, fmt.Errorf("cluster: cannot pin agent to protocol v%d (speaks v%d..v%d)",
+			version, MinProtocolVersion, ProtocolVersion)
+	}
+	return startAgent(addr, version)
+}
+
+func startAgent(addr string, version int) (*Agent, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: bind agent control: %w", err)
@@ -104,7 +186,8 @@ func StartAgent(addr string) (*Agent, error) {
 		ln.Close()
 		return nil, err
 	}
-	a := &Agent{ln: ln, echo: echo, ip: host}
+	a := &Agent{ln: ln, echo: echo, ip: host, ver: version, start: time.Now()}
+	a.met = newAgentMetrics(echo)
 	a.wg.Add(1)
 	go a.serve()
 	return a, nil
@@ -141,6 +224,8 @@ func (a *Agent) serve() {
 
 func (a *Agent) handle(conn net.Conn) {
 	defer conn.Close()
+	a.met.sessionOpen()
+	defer a.met.sessionClose()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
@@ -148,94 +233,227 @@ func (a *Agent) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		a.met.op(req.Op)
 		if err := a.dispatch(&req, enc); err != nil {
-			_ = reply(enc, Response{Error: err.Error()})
+			cause := errCauseOf(err)
+			a.met.failure(req.Op, cause)
+			resp := Response{Error: err.Error()}
+			if a.ver >= ProtocolVersion && protocolVersionOf(req.V) >= 3 {
+				resp.ErrCause = cause
+			}
+			_ = reply(enc, a.replyVersion(req.V), resp)
 		}
 	}
 }
 
-// reply stamps the agent's protocol version on a response and encodes
-// it; every response line, error responses included, carries it so the
+// reply stamps a protocol version on a response and encodes it; every
+// response line, error responses included, carries it so the
 // coordinator can verify the handshake on the very first exchange.
-func reply(enc *json.Encoder, resp Response) error {
-	resp.V = ProtocolVersion
+func reply(enc *json.Encoder, v int, resp Response) error {
+	resp.V = v
 	return enc.Encode(resp)
 }
 
+// replyVersion picks the version stamped on a reply: a current agent
+// answers at the requester's version (that echo IS the downgrade
+// handshake a v2 coordinator relies on); an unspeakable version gets
+// the agent's own, so the refusal still identifies this build. A
+// version-pinned compat agent always stamps its pinned version, exactly
+// like the shipped build it stands in for.
+func (a *Agent) replyVersion(reqV int) int {
+	if a.ver < ProtocolVersion {
+		return a.ver
+	}
+	v := protocolVersionOf(reqV)
+	if v < MinProtocolVersion || v > ProtocolVersion {
+		return ProtocolVersion
+	}
+	return v
+}
+
+// acceptVersion applies the handshake: a current agent speaks the whole
+// [MinProtocolVersion, ProtocolVersion] range; a pinned compat agent
+// reproduces the old strict-equality check verbatim.
+func (a *Agent) acceptVersion(v int) error {
+	if a.ver < ProtocolVersion {
+		if v != a.ver {
+			return opFail("proto", fmt.Errorf("cluster: choreo-agent speaks protocol v%d, coordinator speaks v%d; upgrade so both sides match", a.ver, v))
+		}
+		return nil
+	}
+	if v < MinProtocolVersion || v > ProtocolVersion {
+		return opFail("proto", fmt.Errorf("cluster: choreo-agent speaks protocol v%d, coordinator speaks v%d; upgrade so both sides match (this agent accepts v%d..v%d)", ProtocolVersion, v, MinProtocolVersion, ProtocolVersion))
+	}
+	return nil
+}
+
+// opError tags a dispatch failure with its cause class ("train", "rtt",
+// "bulk", "proto") — shipped to the coordinator as Response.ErrCause
+// and counted agent-side in failures_total.
+type opError struct {
+	cause string
+	err   error
+}
+
+func (e *opError) Error() string { return e.err.Error() }
+func (e *opError) Unwrap() error { return e.err }
+
+func opFail(cause string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &opError{cause: cause, err: err}
+}
+
+func errCauseOf(err error) string {
+	var oe *opError
+	if errors.As(err, &oe) {
+		return oe.cause
+	}
+	return "error"
+}
+
+// peerLabel is the metrics label for the far end of a measured path:
+// the peer agent's control address when the (v3) coordinator supplied
+// it, a stable placeholder otherwise — never an ephemeral data port.
+func peerLabel(req *Request) string {
+	if req.Peer != "" {
+		return req.Peer
+	}
+	return "unknown"
+}
+
 func (a *Agent) dispatch(req *Request, enc *json.Encoder) error {
-	if v := protocolVersionOf(req.V); v != ProtocolVersion {
-		return fmt.Errorf("cluster: choreo-agent speaks protocol v%d, coordinator speaks v%d; upgrade so both sides match", ProtocolVersion, v)
+	v := protocolVersionOf(req.V)
+	if err := a.acceptVersion(v); err != nil {
+		return err
+	}
+	var rt *reqTrace
+	if a.ver >= ProtocolVersion && v >= 3 {
+		rt = newReqTrace(req.TraceID)
+	}
+	if req.Op == "metrics" && a.ver >= ProtocolVersion {
+		var b bytes.Buffer
+		if err := a.met.write(&b); err != nil {
+			return opFail("proto", err)
+		}
+		return reply(enc, v, Response{OK: true, Metrics: b.String()})
 	}
 	switch req.Op {
 	case "info":
-		return reply(enc, Response{OK: true, EchoPort: a.echo.Port()})
+		resp := Response{OK: true, EchoPort: a.echo.Port()}
+		if a.ver >= ProtocolVersion && v >= 3 {
+			resp.UptimeMs = time.Since(a.start).Milliseconds()
+		}
+		return reply(enc, v, resp)
 
 	case "udp-recv":
 		cfg := reqConfig(req)
 		recv, err := NewTrainReceiver(a.ip)
 		if err != nil {
-			return err
+			return opFail("train", err)
 		}
 		defer recv.Close()
-		if err := reply(enc, Response{OK: true, Port: recv.Port()}); err != nil {
+		if err := reply(enc, v, Response{OK: true, Port: recv.Port()}); err != nil {
 			return err
 		}
-		obs, err := recv.Receive(cfg, time.Duration(req.RTTNs),
+		sp := rt.tracer().Start(obs.Span{}, "agent.train",
+			obs.String("role", "recv"), obs.String("peer", peerLabel(req)))
+		start := time.Now()
+		o, err := recv.Receive(cfg, time.Duration(req.RTTNs),
 			reqTimeout(req, 10*time.Second), 500*time.Millisecond)
 		if err != nil {
-			return err
+			sp.End(obs.String("outcome", "error"))
+			return opFail("train", err)
 		}
+		a.met.train("recv", peerLabel(req), time.Since(start).Seconds())
 		resp := Response{OK: true}
-		for _, b := range obs.Bursts {
+		received := 0
+		for _, b := range o.Bursts {
+			received += b.Received
 			resp.Bursts = append(resp.Bursts, BurstJSON{
 				Sent: b.Sent, Received: b.Received,
 				HeadLost: b.HeadLost, TailLost: b.TailLost,
 				SpanNs: int64(b.Span),
 			})
 		}
-		return reply(enc, resp)
+		a.met.addBytes("rx", int64(received)*int64(cfg.PacketSize))
+		sp.End(obs.String("outcome", "ok"), obs.Int("received", int64(received)))
+		rt.attach(&resp)
+		return reply(enc, v, resp)
 
 	case "udp-send":
 		cfg := reqConfig(req)
+		sp := rt.tracer().Start(obs.Span{}, "agent.train",
+			obs.String("role", "send"), obs.String("peer", peerLabel(req)))
+		start := time.Now()
 		if err := SendTrain(req.Target, cfg); err != nil {
-			return err
+			sp.End(obs.String("outcome", "error"))
+			return opFail("train", err)
 		}
-		return reply(enc, Response{OK: true})
+		a.met.train("send", peerLabel(req), time.Since(start).Seconds())
+		sent := int64(cfg.Bursts) * int64(cfg.BurstLength) * int64(cfg.PacketSize)
+		a.met.addBytes("tx", sent)
+		sp.End(obs.String("outcome", "ok"), obs.Int("sent", sent))
+		resp := Response{OK: true}
+		rt.attach(&resp)
+		return reply(enc, v, resp)
 
 	case "rtt":
+		sp := rt.tracer().Start(obs.Span{}, "agent.rtt",
+			obs.String("peer", peerLabel(req)), obs.Int("count", int64(req.Count)))
 		rtt, err := MeasureRTT(req.Target, req.Count, reqTimeout(req, time.Second))
 		if err != nil {
-			return err
+			sp.End(obs.String("outcome", "error"))
+			return opFail("rtt", err)
 		}
-		return reply(enc, Response{OK: true, RTTNs: int64(rtt)})
+		a.met.rtt()
+		sp.End(obs.String("outcome", "ok"), obs.Int("rttNs", int64(rtt)))
+		resp := Response{OK: true, RTTNs: int64(rtt)}
+		rt.attach(&resp)
+		return reply(enc, v, resp)
 
 	case "tcp-recv":
 		recv, err := NewBulkReceiver(a.ip)
 		if err != nil {
-			return err
+			return opFail("bulk", err)
 		}
 		defer recv.Close()
-		if err := reply(enc, Response{OK: true, Port: recv.Port()}); err != nil {
+		if err := reply(enc, v, Response{OK: true, Port: recv.Port()}); err != nil {
 			return err
 		}
-		rate, bytes, err := recv.Receive(reqTimeout(req, 30*time.Second))
+		sp := rt.tracer().Start(obs.Span{}, "agent.bulk",
+			obs.String("role", "recv"), obs.String("peer", peerLabel(req)))
+		rate, rxBytes, err := recv.Receive(reqTimeout(req, 30*time.Second))
 		if err != nil {
-			return err
+			sp.End(obs.String("outcome", "error"))
+			return opFail("bulk", err)
 		}
-		return reply(enc, Response{OK: true, RateBits: float64(rate), Bytes: int64(bytes)})
+		a.met.addBytes("rx", int64(rxBytes))
+		sp.End(obs.String("outcome", "ok"), obs.Int("bytes", int64(rxBytes)))
+		resp := Response{OK: true, RateBits: float64(rate), Bytes: int64(rxBytes)}
+		rt.attach(&resp)
+		return reply(enc, v, resp)
 
 	case "tcp-send":
 		dur := time.Duration(req.DurationMs) * time.Millisecond
 		if dur <= 0 {
 			dur = time.Second
 		}
+		sp := rt.tracer().Start(obs.Span{}, "agent.bulk",
+			obs.String("role", "send"), obs.String("peer", peerLabel(req)))
 		sent, err := BulkSend(req.Target, dur)
 		if err != nil {
-			return err
+			sp.End(obs.String("outcome", "error"))
+			return opFail("bulk", err)
 		}
-		return reply(enc, Response{OK: true, Bytes: int64(sent)})
+		a.met.addBytes("tx", int64(sent))
+		sp.End(obs.String("outcome", "ok"), obs.Int("bytes", int64(sent)))
+		resp := Response{OK: true, Bytes: int64(sent)}
+		rt.attach(&resp)
+		return reply(enc, v, resp)
 	}
-	return fmt.Errorf("cluster: unknown op %q", req.Op)
+	return opFail("proto", fmt.Errorf("cluster: unknown op %q", req.Op))
 }
 
 func reqConfig(req *Request) probe.Config {

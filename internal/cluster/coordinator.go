@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
+	"sync"
 	"time"
 
 	"choreo/internal/obs"
@@ -30,6 +33,10 @@ type Coordinator struct {
 	timeout time.Duration
 	obs     *obs.Observer   // nil until Instrument
 	m       *clusterMetrics // nil until Instrument
+	traceID string          // set by Instrument; scopes trace context on v3 requests
+
+	mu      sync.Mutex
+	peerVer map[string]int // negotiated protocol version per agent address
 }
 
 // NewCoordinator takes agent control addresses.
@@ -37,7 +44,31 @@ func NewCoordinator(agents []string, timeout time.Duration) *Coordinator {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return &Coordinator{agents: append([]string(nil), agents...), timeout: timeout}
+	return &Coordinator{
+		agents:  append([]string(nil), agents...),
+		timeout: timeout,
+		peerVer: make(map[string]int),
+	}
+}
+
+// peerVersion returns the protocol version to open a session to addr
+// with: the cached downgrade if a previous exchange negotiated one,
+// this build's version otherwise.
+func (c *Coordinator) peerVersion(addr string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.peerVer[addr]; ok {
+		return v
+	}
+	return ProtocolVersion
+}
+
+// notePeerVersion caches a negotiated downgrade so later sessions to
+// the same agent skip the refused first request.
+func (c *Coordinator) notePeerVersion(addr string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peerVer[addr] = v
 }
 
 // Agents returns the configured agent count.
@@ -54,6 +85,8 @@ type session struct {
 	addr    string
 	timeout time.Duration
 	m       *clusterMetrics // shared with the coordinator; nil when uninstrumented
+	c       *Coordinator
+	ver     int // protocol version this session speaks (downgraded on negotiation)
 }
 
 func (c *Coordinator) dial(ctx context.Context, addr string) (*session, error) {
@@ -70,7 +103,19 @@ func (c *Coordinator) dial(ctx context.Context, addr string) (*session, error) {
 		addr:    addr,
 		timeout: c.timeout,
 		m:       c.m,
+		c:       c,
+		ver:     c.peerVersion(addr),
 	}, nil
+}
+
+// downgradeError is the internal signal that an agent refused the
+// session's version and named a lower one it does speak. Negotiation,
+// not an incident: it is never surfaced to callers and never counted
+// as a failure.
+type downgradeError struct{ to int }
+
+func (e *downgradeError) Error() string {
+	return fmt.Sprintf("cluster: peer negotiated protocol v%d", e.to)
 }
 
 // ctxCause substitutes the context's own error for an I/O error it
@@ -84,8 +129,43 @@ func ctxCause(ctx context.Context, err error) error {
 	return err
 }
 
+// call sends one request and reads its first response, negotiating the
+// protocol version on the way: a v2 agent refuses the initial v3
+// request with a reply stamped v2, which readWithin surfaces as a
+// downgradeError — the session drops to the agent's version, caches it
+// on the coordinator so later sessions start there, and resends. The
+// loop terminates because every downgrade strictly lowers s.ver and
+// readWithin only accepts versions >= MinProtocolVersion.
 func (s *session) call(ctx context.Context, req *Request) (*Response, error) {
-	req.V = ProtocolVersion
+	for {
+		resp, err := s.send(ctx, req)
+		var dg *downgradeError
+		if errors.As(err, &dg) {
+			s.ver = dg.to
+			s.c.notePeerVersion(s.addr, dg.to)
+			continue
+		}
+		return resp, err
+	}
+}
+
+func (s *session) send(ctx context.Context, req *Request) (*Response, error) {
+	req.V = s.ver
+	// Propagate trace context: the span in ctx (the pair or bulk span
+	// that issued this remote work) becomes the parent of the agent's
+	// spans. No span in flight (or tracing off) sends none.
+	req.TraceID, req.TraceSpan = "", 0
+	if s.ver >= 3 && s.c.obs != nil && s.c.obs.Trace != nil {
+		if p := obs.SpanFromContext(ctx); p.ID() != 0 {
+			req.TraceID = s.c.traceID
+			req.TraceSpan = p.ID()
+		}
+	}
+	if s.ver < 3 {
+		// A v2 peer must never see v3 fields — the downgrade strips the
+		// peer hint too, degrading agent spans to coordinator-local.
+		req.Peer = ""
+	}
 	if err := s.conn.SetWriteDeadline(time.Now().Add(s.timeout)); err != nil {
 		return nil, err
 	}
@@ -127,34 +207,118 @@ func (s *session) readWithin(ctx context.Context, d time.Duration) (*Response, e
 		return nil, fmt.Errorf("cluster: agent %s: %w", s.addr, ctxCause(ctx, err))
 	}
 	if resp.Error != "" {
-		s.m.fail(s.addr, "agent-error")
+		if v := protocolVersionOf(resp.V); v >= MinProtocolVersion && v < s.ver {
+			// The agent refused our version and stamped its own lower
+			// one: that is the downgrade handshake, not a failure.
+			return nil, &downgradeError{to: v}
+		}
+		cause := "agent-error"
+		if resp.ErrCause != "" {
+			cause = "agent-" + resp.ErrCause
+		}
+		s.m.fail(s.addr, cause)
 		return nil, fmt.Errorf("cluster: agent %s: %s", s.addr, resp.Error)
 	}
-	if v := protocolVersionOf(resp.V); v != ProtocolVersion {
+	if v := protocolVersionOf(resp.V); v != s.ver {
 		s.m.fail(s.addr, "version-mismatch")
-		return nil, fmt.Errorf("cluster: agent %s speaks protocol v%d, need v%d; upgrade choreo-agent", s.addr, v, ProtocolVersion)
+		return nil, fmt.Errorf("cluster: agent %s speaks protocol v%d, need v%d; upgrade choreo-agent", s.addr, v, s.ver)
 	}
+	s.stitch(ctx, &resp)
 	return &resp, nil
+}
+
+// stitch replays agent-side spans from a v3 response into the
+// coordinator's event log, re-parented under the span that issued the
+// request (the one propagated as TraceSpan, recovered from ctx).
+// Agent-local IDs are remapped to fresh tracer IDs as they are
+// emitted, preserving the event schema's parent-started-first
+// invariant; a span whose parent is 0 (or unknown) hangs off the
+// issuing span. Spans from a different trace — a stale or foreign
+// exchange — are dropped.
+func (s *session) stitch(ctx context.Context, resp *Response) {
+	if len(resp.Spans) == 0 || s.c.obs == nil {
+		return
+	}
+	if resp.TraceID != s.c.traceID {
+		return
+	}
+	parent := obs.SpanFromContext(ctx)
+	if parent.ID() == 0 {
+		return
+	}
+	local := make(map[int64]obs.Span, len(resp.Spans))
+	for _, sp := range resp.Spans {
+		p := parent
+		if lp, ok := local[sp.Parent]; ok && sp.Parent != 0 {
+			p = lp
+		}
+		local[sp.ID] = s.c.obs.EmitSpan(p, sp.Name, sp.WallNs, sp.DurNs, sp.Attrs)
+	}
 }
 
 func (s *session) close() { _ = s.conn.Close() }
 
+// AgentInfo is an agent's handshake self-description.
+type AgentInfo struct {
+	// EchoAddr is the agent's UDP echo responder address.
+	EchoAddr string
+	// Version is the negotiated protocol version of the exchange — this
+	// build's version for a current agent, lower for a stale one.
+	Version int
+	// Uptime is how long the agent process has been running; zero when
+	// the agent predates v3 and does not report it.
+	Uptime time.Duration
+}
+
+// Info runs the handshake against one agent: echo address, negotiated
+// protocol version, and (v3+) process uptime.
+func (c *Coordinator) Info(ctx context.Context, agent int) (AgentInfo, error) {
+	s, err := c.dial(ctx, c.agents[agent])
+	if err != nil {
+		return AgentInfo{}, err
+	}
+	defer s.close()
+	resp, err := s.call(ctx, &Request{Op: "info"})
+	if err != nil {
+		return AgentInfo{}, err
+	}
+	host, _, err := net.SplitHostPort(c.agents[agent])
+	if err != nil {
+		return AgentInfo{}, err
+	}
+	return AgentInfo{
+		EchoAddr: net.JoinHostPort(host, fmt.Sprint(resp.EchoPort)),
+		Version:  s.ver,
+		Uptime:   time.Duration(resp.UptimeMs) * time.Millisecond,
+	}, nil
+}
+
 // EchoAddr asks an agent for its RTT echo address.
 func (c *Coordinator) EchoAddr(ctx context.Context, agent int) (string, error) {
+	info, err := c.Info(ctx, agent)
+	if err != nil {
+		return "", err
+	}
+	return info.EchoAddr, nil
+}
+
+// ScrapeMetrics fetches one agent's Prometheus exposition over the v3
+// "metrics" op. A v2 agent cannot serve it; the unknown-op refusal is
+// wrapped with the actionable upgrade hint.
+func (c *Coordinator) ScrapeMetrics(ctx context.Context, agent int) (string, error) {
 	s, err := c.dial(ctx, c.agents[agent])
 	if err != nil {
 		return "", err
 	}
 	defer s.close()
-	resp, err := s.call(ctx, &Request{Op: "info"})
+	resp, err := s.call(ctx, &Request{Op: "metrics"})
 	if err != nil {
+		if strings.Contains(err.Error(), "unknown op") {
+			return "", fmt.Errorf("cluster: agent %s speaks protocol v%d and cannot serve metrics; upgrade choreo-agent to v%d", c.agents[agent], s.ver, ProtocolVersion)
+		}
 		return "", err
 	}
-	host, _, err := net.SplitHostPort(c.agents[agent])
-	if err != nil {
-		return "", err
-	}
-	return net.JoinHostPort(host, fmt.Sprint(resp.EchoPort)), nil
+	return resp.Metrics, nil
 }
 
 // MeasurePath runs one packet train from agent src to agent dst and
@@ -167,7 +331,10 @@ func (c *Coordinator) MeasurePath(ctx context.Context, src, dst int, cfg probe.C
 		obs.Int("src", int64(src)), obs.Int("dst", int64(dst)),
 		obs.String("srcAddr", c.agents[src]), obs.String("dstAddr", c.agents[dst]))
 	pairStart := time.Now()
-	obsn, err := c.measurePath(ctx, src, dst, cfg)
+	// The pair span rides the context from here: sessions propagate it
+	// to v3 agents as trace context, and their returned spans stitch in
+	// under it.
+	obsn, err := c.measurePath(spanCtx(ctx, span), src, dst, cfg)
 	if err != nil {
 		span.End(obs.String("outcome", "error"))
 		return obsn, err
@@ -189,7 +356,7 @@ func (c *Coordinator) measurePath(ctx context.Context, src, dst int, cfg probe.C
 	}
 	defer srcSess.close()
 
-	rttResp, err := srcSess.call(ctx, &Request{Op: "rtt", Target: echoAddr, Count: 5, TimeoutMs: 1000})
+	rttResp, err := srcSess.call(ctx, &Request{Op: "rtt", Target: echoAddr, Count: 5, TimeoutMs: 1000, Peer: c.agents[dst]})
 	if err != nil {
 		return probe.Observation{}, fmt.Errorf("cluster: rtt %d->%d: %w", src, dst, err)
 	}
@@ -208,6 +375,7 @@ func (c *Coordinator) measurePath(ctx context.Context, src, dst int, cfg probe.C
 		GapUs:      cfg.Gap.Microseconds(),
 		TimeoutMs:  c.timeout.Milliseconds(),
 		RTTNs:      rttResp.RTTNs,
+		Peer:       c.agents[src],
 	}
 	ready, err := dstSess.call(ctx, req)
 	if err != nil {
@@ -222,6 +390,7 @@ func (c *Coordinator) measurePath(ctx context.Context, src, dst int, cfg probe.C
 	sendReq := *req
 	sendReq.Op = "udp-send"
 	sendReq.Target = target
+	sendReq.Peer = c.agents[dst]
 	if _, err := srcSess.call(ctx, &sendReq); err != nil {
 		return probe.Observation{}, fmt.Errorf("cluster: send train %d->%d: %w", src, dst, err)
 	}
@@ -308,12 +477,26 @@ func (c *Coordinator) BulkThroughput(ctx context.Context, src, dst int, duration
 	if src == dst {
 		return 0, fmt.Errorf("cluster: src == dst")
 	}
+	span := c.obs.StartSpan(obs.SpanFromContext(ctx), "cluster.bulk",
+		obs.Int("src", int64(src)), obs.Int("dst", int64(dst)),
+		obs.String("srcAddr", c.agents[src]), obs.String("dstAddr", c.agents[dst]))
+	ctx = spanCtx(ctx, span)
+	rate, err := c.bulkThroughput(ctx, src, dst, duration)
+	if err != nil {
+		span.End(obs.String("outcome", "error"))
+		return 0, err
+	}
+	span.End(obs.String("outcome", "ok"), obs.Float("rateBits", float64(rate)))
+	return rate, nil
+}
+
+func (c *Coordinator) bulkThroughput(ctx context.Context, src, dst int, duration time.Duration) (units.Rate, error) {
 	dstSess, err := c.dial(ctx, c.agents[dst])
 	if err != nil {
 		return 0, err
 	}
 	defer dstSess.close()
-	ready, err := dstSess.call(ctx, &Request{Op: "tcp-recv", TimeoutMs: (duration + c.timeout).Milliseconds()})
+	ready, err := dstSess.call(ctx, &Request{Op: "tcp-recv", TimeoutMs: (duration + c.timeout).Milliseconds(), Peer: c.agents[src]})
 	if err != nil {
 		return 0, err
 	}
@@ -328,7 +511,7 @@ func (c *Coordinator) BulkThroughput(ctx context.Context, src, dst int, duration
 		return 0, err
 	}
 	defer srcSess.close()
-	if _, err := srcSess.call(ctx, &Request{Op: "tcp-send", Target: target, DurationMs: duration.Milliseconds()}); err != nil {
+	if _, err := srcSess.call(ctx, &Request{Op: "tcp-send", Target: target, DurationMs: duration.Milliseconds(), Peer: c.agents[dst]}); err != nil {
 		return 0, err
 	}
 	result, err := dstSess.readWithin(ctx, duration+c.timeout)

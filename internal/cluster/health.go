@@ -19,6 +19,13 @@ type AgentHealth struct {
 	// RTT is the median round trip to the agent's echo responder; zero
 	// when the probe failed.
 	RTT time.Duration
+	// Version is the negotiated protocol version from the handshake —
+	// this build's version for a current agent, lower for a stale one
+	// the coordinator downgraded to; zero when the handshake failed.
+	Version int
+	// Uptime is the agent's self-reported process uptime (v3+); zero
+	// for agents that predate it.
+	Uptime time.Duration
 	// Err is the first failure encountered (dial, handshake, version
 	// mismatch or echo probe); nil for a healthy agent.
 	Err error
@@ -33,12 +40,14 @@ func (h AgentHealth) OK() bool { return h.Err == nil }
 // UDP echo responder the handshake advertised.
 func (c *Coordinator) CheckAgent(ctx context.Context, agent int) AgentHealth {
 	h := AgentHealth{Index: agent, Addr: c.agents[agent]}
-	echoAddr, err := c.EchoAddr(ctx, agent)
+	info, err := c.Info(ctx, agent)
 	if err != nil {
 		h.Err = err
 		return h
 	}
-	rtt, err := MeasureRTT(echoAddr, 3, c.timeout)
+	h.Version = info.Version
+	h.Uptime = info.Uptime
+	rtt, err := MeasureRTT(info.EchoAddr, 3, c.timeout)
 	if err != nil {
 		h.Err = err
 		return h

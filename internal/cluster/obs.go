@@ -3,7 +3,9 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
+	"time"
 
 	"choreo/internal/obs"
 )
@@ -57,6 +59,11 @@ func (c *Coordinator) Instrument(o *obs.Observer) *Coordinator {
 	}
 	c.obs = o
 	c.m = newClusterMetrics(o.Registry())
+	// The trace ID scopes every span ID this coordinator hands to v3
+	// agents; a stale agent response from another run fails the echo
+	// check and its spans are dropped instead of stitched under the
+	// wrong parent. Wall-clock uniqueness is plenty for that.
+	c.traceID = fmt.Sprintf("%016x", time.Now().UnixNano())
 	return c
 }
 

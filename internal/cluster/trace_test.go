@@ -1,0 +1,186 @@
+package cluster_test
+
+// Cross-process trace tests: a v3 fleet ships agent-side spans back to
+// the coordinator, which stitches them under the issuing pair spans so
+// one event log holds the whole distributed measurement; a mixed v2/v3
+// fleet degrades gracefully (spans only from current agents, downgrades
+// never counted as failures).
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"choreo/internal/cluster"
+	"choreo/internal/obs"
+	"choreo/internal/sweep/backend/livetest"
+)
+
+// measureInstrumented runs a full mesh over the given fleet with both
+// metrics and tracing on, returning the observer and the decoded,
+// validated event stream.
+func measureInstrumented(t *testing.T, mesh *livetest.Mesh) (*obs.Observer, []obs.Event) {
+	t.Helper()
+	var events bytes.Buffer
+	o := &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(&events)}
+	coord := cluster.NewCoordinator(mesh.Addrs(), 5*time.Second).Instrument(o)
+	if _, err := coord.MeasureMesh(context.Background(), livetest.QuickTrain()); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.DecodeEvents(bytes.NewReader(events.Bytes()))
+	if err != nil {
+		t.Fatalf("stitched event log invalid: %v\n%s", err, events.String())
+	}
+	return o, evs
+}
+
+// spanStarts indexes the start events of a decoded stream by name.
+func spanStarts(evs []obs.Event) map[string][]obs.Event {
+	by := make(map[string][]obs.Event)
+	for _, e := range evs {
+		if e.Ev == "start" {
+			by[e.Name] = append(by[e.Name], e)
+		}
+	}
+	return by
+}
+
+func TestCrossProcessSpanStitching(t *testing.T) {
+	mesh, err := livetest.Start(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	_, evs := measureInstrumented(t, mesh)
+	by := spanStarts(evs)
+
+	// Two ordered pairs under one mesh span.
+	pairParents := make(map[int64]bool)
+	for _, e := range by["cluster.pair"] {
+		pairParents[e.Span] = true
+	}
+	if len(pairParents) != 2 {
+		t.Fatalf("pair spans = %d, want 2", len(pairParents))
+	}
+
+	// Each pair ran one RTT probe on the source and a send/recv train
+	// pair, all shipped back by the agents and re-parented under the
+	// coordinator's pair span — the single stitched cross-process tree.
+	if got := len(by["agent.rtt"]); got != 2 {
+		t.Errorf("agent.rtt spans = %d, want 2", got)
+	}
+	roles := map[string]int{}
+	for _, e := range by["agent.train"] {
+		roles[e.Attrs["role"]]++
+	}
+	if roles["send"] != 2 || roles["recv"] != 2 {
+		t.Errorf("agent.train roles = %v, want 2 send + 2 recv", roles)
+	}
+	// Stitched spans arrive as completed records, so their merged attrs
+	// (peer, outcome) all ride the start event.
+	for _, name := range []string{"agent.rtt", "agent.train"} {
+		for _, e := range by[name] {
+			if !pairParents[e.Parent] {
+				t.Errorf("%s span %d parented under %d, not a cluster.pair span", name, e.Span, e.Parent)
+			}
+			if peer := e.Attrs["peer"]; peer == "" || peer == "unknown" {
+				t.Errorf("%s span %d peer label = %q, want a control address", name, e.Span, peer)
+			}
+			if e.Attrs["outcome"] != "ok" {
+				t.Errorf("%s span %d outcome = %v", name, e.Span, e.Attrs)
+			}
+		}
+	}
+}
+
+func TestMixedFleetTraceDegradation(t *testing.T) {
+	// Agent 0 is current, agent 1 a shipped v2 build: the mesh must
+	// still complete, the v2 sessions silently downgrade (no failure
+	// counted), and only the v3 agent contributes stitched spans.
+	mesh, err := livetest.StartVersions([]int{cluster.ProtocolVersion, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	o, evs := measureInstrumented(t, mesh)
+	by := spanStarts(evs)
+
+	// Pair 0->1: rtt + udp-send run on the v3 agent; pair 1->0: only
+	// udp-recv does. Everything served by the v2 agent degrades to
+	// coordinator-local (no span at all).
+	if got := len(by["agent.rtt"]); got != 1 {
+		t.Errorf("agent.rtt spans = %d, want 1 (v3 source only)", got)
+	}
+	if got := len(by["agent.train"]); got != 2 {
+		t.Errorf("agent.train spans = %d, want 2 (v3 side of each pair)", got)
+	}
+	if got := len(by["cluster.pair"]); got != 2 {
+		t.Errorf("cluster.pair spans = %d, want 2 — degradation must not drop coordinator spans", got)
+	}
+
+	// The downgrade handshake is negotiation, not an incident.
+	var expo bytes.Buffer
+	if err := o.Metrics.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(expo.String(), "choreo_cluster_failures_total{") {
+		t.Errorf("downgrade counted as failure:\n%s", expo.String())
+	}
+}
+
+func TestMixedFleetHealthAndMetricsScrape(t *testing.T) {
+	mesh, err := livetest.StartVersions([]int{cluster.ProtocolVersion, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	coord := cluster.NewCoordinator(mesh.Addrs(), 5*time.Second)
+	ctx := context.Background()
+
+	fleet, healthy := coord.CheckFleet(ctx)
+	if healthy != 2 {
+		t.Fatalf("healthy = %d, want 2 (a v2 agent is stale, not sick): %+v", healthy, fleet)
+	}
+	if fleet[0].Version != cluster.ProtocolVersion {
+		t.Errorf("agent 0 version = %d, want %d", fleet[0].Version, cluster.ProtocolVersion)
+	}
+	if fleet[1].Version != 2 {
+		t.Errorf("agent 1 version = %d, want 2", fleet[1].Version)
+	}
+	if fleet[1].Uptime != 0 {
+		t.Errorf("v2 agent reported uptime %v, want 0 (predates the field)", fleet[1].Uptime)
+	}
+
+	// The current agent serves its registry over the metrics op...
+	text, err := coord.ScrapeMetrics(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := obs.ValidatePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("agent exposition invalid: %v\n%s", err, text)
+	}
+	for _, fam := range []string{"choreo_agent_ops_total", "choreo_agent_sessions", "choreo_go_goroutines"} {
+		found := false
+		for _, n := range stats.Names {
+			if n == fam {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %s missing from agent exposition (have %v)", fam, stats.Names)
+		}
+	}
+
+	// ...while the v2 agent refuses it with the actionable hint.
+	if _, err := coord.ScrapeMetrics(ctx, 1); err == nil {
+		t.Fatal("ScrapeMetrics succeeded against a v2 agent")
+	} else if !strings.Contains(err.Error(), "cannot serve metrics") {
+		t.Errorf("scrape error = %v, want the upgrade hint", err)
+	}
+}

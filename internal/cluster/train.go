@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"choreo/internal/probe"
@@ -176,6 +177,7 @@ func (r *TrainReceiver) Receive(cfg probe.Config, rtt time.Duration, deadline ti
 type EchoServer struct {
 	conn *net.UDPConn
 	done chan struct{}
+	pkts atomic.Int64
 }
 
 // NewEchoServer starts an echo responder on an ephemeral port.
@@ -197,9 +199,14 @@ func (e *EchoServer) loop() {
 		if err != nil {
 			return // closed
 		}
+		e.pkts.Add(1)
 		_, _ = e.conn.WriteToUDP(buf[:n], addr)
 	}
 }
+
+// Packets reports how many datagrams the responder has reflected —
+// feeds the agent's echo-packet counter.
+func (e *EchoServer) Packets() int64 { return e.pkts.Load() }
 
 // Port returns the echo port.
 func (e *EchoServer) Port() int { return e.conn.LocalAddr().(*net.UDPAddr).Port }

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// expoFrom renders a registry to exposition text.
+func expoFrom(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestMergeExpositionsFleetScrape(t *testing.T) {
+	// Two agents exposing the same families with different values — the
+	// shape `choreo agents metrics` merges.
+	mk := func(ops float64, lat float64) string {
+		r := NewRegistry()
+		c := r.Counter("choreo_agent_ops_total", "Ops served.")
+		c.Add(int64(ops))
+		h := r.Histogram("choreo_agent_train_seconds", "Train latency.", []float64{0.1, 1})
+		h.Observe(lat)
+		return expoFrom(t, r)
+	}
+	merged, err := MergeExpositions("agent", []Exposition{
+		{Label: "10.0.0.1:7000", Text: mk(3, 0.05)},
+		{Label: "10.0.0.2:7000", Text: mk(5, 0.5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidatePrometheus(strings.NewReader(merged))
+	if err != nil {
+		t.Fatalf("merged exposition invalid: %v\n%s", err, merged)
+	}
+	if stats.Families != 2 {
+		t.Errorf("families = %d, want 2:\n%s", stats.Families, merged)
+	}
+	for _, want := range []string{
+		`choreo_agent_ops_total{agent="10.0.0.1:7000"} 3`,
+		`choreo_agent_ops_total{agent="10.0.0.2:7000"} 5`,
+		`choreo_agent_train_seconds_count{agent="10.0.0.2:7000"} 1`,
+		`choreo_agent_train_seconds_bucket{agent="10.0.0.1:7000",le="0.1"} 1`,
+	} {
+		if !strings.Contains(merged, want) {
+			t.Errorf("merged exposition missing %q:\n%s", want, merged)
+		}
+	}
+	// One TYPE per family, families sorted by name.
+	if strings.Count(merged, "# TYPE choreo_agent_ops_total ") != 1 {
+		t.Errorf("duplicate TYPE in merge:\n%s", merged)
+	}
+	if strings.Index(merged, "choreo_agent_ops_total") > strings.Index(merged, "choreo_agent_train_seconds") {
+		t.Errorf("families not sorted:\n%s", merged)
+	}
+}
+
+func TestMergeExpositionsTypeConflict(t *testing.T) {
+	a := "# TYPE choreo_thing counter\nchoreo_thing 1\n"
+	b := "# TYPE choreo_thing gauge\nchoreo_thing 2\n"
+	_, err := MergeExpositions("agent", []Exposition{{Label: "a", Text: a}, {Label: "b", Text: b}})
+	if err == nil || !strings.Contains(err.Error(), "choreo_thing") {
+		t.Errorf("type conflict error = %v", err)
+	}
+}
+
+func TestMergeExpositionsLabelClash(t *testing.T) {
+	a := "# TYPE choreo_thing counter\nchoreo_thing{agent=\"already\"} 1\n"
+	_, err := MergeExpositions("agent", []Exposition{{Label: "a", Text: a}})
+	if err == nil || !strings.Contains(err.Error(), `"agent"`) {
+		t.Errorf("label clash error = %v", err)
+	}
+	if _, err := MergeExpositions("0bad", nil); err == nil {
+		t.Error("invalid merge label name accepted")
+	}
+}
+
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	// A label value using every escape the format defines must survive
+	// write -> validate -> parse intact.
+	hostile := "a\\b\"c\nd"
+	r := NewRegistry()
+	r.CounterVec("choreo_esc_total", "Escaping probe.", "path").With(hostile).Inc()
+	text := expoFrom(t, r)
+	if _, err := ValidatePrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("escaped exposition invalid: %v\n%s", err, text)
+	}
+	fams, _, err := parseExposition(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fams["choreo_esc_total"]
+	if f == nil || len(f.samples) != 1 {
+		t.Fatalf("parse lost the family: %+v", fams)
+	}
+	if got := f.samples[0].labels["path"]; got != hostile {
+		t.Errorf("label round-trip = %q, want %q", got, hostile)
+	}
+
+	// And the merged output re-escapes it correctly.
+	merged, err := MergeExpositions("agent", []Exposition{{Label: "x", Text: text}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidatePrometheus(strings.NewReader(merged)); err != nil {
+		t.Fatalf("merged escaped exposition invalid: %v\n%s", err, merged)
+	}
+	fams, _, err = parseExposition(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams["choreo_esc_total"].samples[0].labels["path"]; got != hostile {
+		t.Errorf("merged label round-trip = %q, want %q", got, hostile)
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	RegisterRuntimeMetrics(nil) // must not panic
+
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	text := expoFrom(t, r)
+	if _, err := ValidatePrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("runtime exposition invalid: %v\n%s", err, text)
+	}
+	fams, _, err := parseExposition(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fams["choreo_go_goroutines"]
+	if g == nil || len(g.samples) != 1 {
+		t.Fatalf("goroutine gauge missing:\n%s", text)
+	}
+	if g.samples[0].value < 1 {
+		t.Errorf("choreo_go_goroutines = %g, want >= 1", g.samples[0].value)
+	}
+	for _, fam := range []string{"choreo_go_heap_objects_bytes", "choreo_go_memory_total_bytes", "choreo_go_gc_cycles_total"} {
+		if fams[fam] == nil {
+			t.Errorf("runtime family %s missing:\n%s", fam, text)
+		}
+	}
+}

@@ -53,6 +53,16 @@ func (o *Observer) StartSpan(parent Span, name string, attrs ...Attr) Span {
 	return o.Trace.Start(parent, name, attrs...)
 }
 
+// EmitSpan replays a completed span that was measured elsewhere onto
+// the observer's tracer — the cross-process stitching entry point (a
+// coordinator re-emitting an agent's spans). Nil-safe like StartSpan.
+func (o *Observer) EmitSpan(parent Span, name string, wallStartNs, durNs int64, attrs map[string]string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.Trace.EmitSpan(parent, name, wallStartNs, durNs, attrs)
+}
+
 // Registry returns the observer's metrics registry (nil when there is
 // none — *Registry methods are nil-safe and hand out standalone
 // metrics, so callers need no further checks).

@@ -307,6 +307,181 @@ func parseFloatValue(s string) (float64, error) {
 	return strconv.ParseFloat(s, 64)
 }
 
+// ---------------------------------------------------------------------
+// Exposition merging (fleet scrapes)
+
+// Exposition is one scraped Prometheus text exposition tagged with the
+// label value identifying its source (an agent's control address).
+type Exposition struct {
+	Label string
+	Text  string
+}
+
+// expoSample is one retained sample line: the full sample name
+// (histogram suffixes included), its labels and value.
+type expoSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// expoFamily is one retained metric family in input order.
+type expoFamily struct {
+	name, typ, help string
+	samples         []expoSample
+}
+
+// parseExposition parses text retaining structure (families in
+// declaration order, samples in input order) — the read side of
+// MergeExpositions. Enforces the same TYPE-before-samples rule the
+// validator does; deeper consistency (histogram cumulativity) is left
+// to ValidatePrometheus on the merged output.
+func parseExposition(text string) (map[string]*expoFamily, []string, error) {
+	fams := make(map[string]*expoFamily)
+	var order []string
+	types := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, "#") {
+			fields := strings.SplitN(raw, " ", 4)
+			if len(fields) < 3 {
+				continue
+			}
+			fam := fields[2]
+			switch fields[1] {
+			case "HELP":
+				if f := fams[fam]; f != nil && f.help == "" && len(fields) == 4 {
+					f.help = fields[3]
+				} else if f == nil {
+					f := &expoFamily{name: fam}
+					if len(fields) == 4 {
+						f.help = fields[3]
+					}
+					fams[fam] = f
+					order = append(order, fam)
+				}
+			case "TYPE":
+				if len(fields) < 4 {
+					return nil, nil, fmt.Errorf("line %d: malformed TYPE", line)
+				}
+				typ := strings.TrimSpace(fields[3])
+				f := fams[fam]
+				if f == nil {
+					f = &expoFamily{name: fam}
+					fams[fam] = f
+					order = append(order, fam)
+				}
+				f.typ = typ
+				types[fam] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(raw, line)
+		if err != nil {
+			return nil, nil, err
+		}
+		fam := familyOf(name, types)
+		f := fams[fam]
+		if f == nil || f.typ == "" {
+			return nil, nil, fmt.Errorf("line %d: sample %s without a # TYPE for %s", line, name, fam)
+		}
+		f.samples = append(f.samples, expoSample{name: name, labels: labels, value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return fams, order, nil
+}
+
+// MergeExpositions merges several scraped expositions into one, tagging
+// every series from source i with labelName="sources[i].Label" — the
+// fleet-scrape renderer behind `choreo agents metrics`. Families
+// declared by more than one source must agree on type (the help string
+// is taken from the first source that has one). The merged output is
+// valid text exposition: one HELP/TYPE per family, families sorted by
+// name, per-source series grouped in source order so each source's
+// histogram buckets stay contiguous and cumulative.
+func MergeExpositions(labelName string, sources []Exposition) (string, error) {
+	if !labelNameRe.MatchString(labelName) {
+		return "", fmt.Errorf("obs: invalid merge label name %q", labelName)
+	}
+	type tagged struct {
+		source string
+		s      expoSample
+	}
+	merged := make(map[string]*expoFamily)
+	samples := make(map[string][]tagged)
+	var order []string
+	for _, src := range sources {
+		fams, famOrder, err := parseExposition(src.Text)
+		if err != nil {
+			return "", fmt.Errorf("exposition from %s: %w", src.Label, err)
+		}
+		for _, name := range famOrder {
+			f := fams[name]
+			m := merged[name]
+			if m == nil {
+				merged[name] = &expoFamily{name: name, typ: f.typ, help: f.help}
+				order = append(order, name)
+			} else {
+				if m.typ != f.typ {
+					return "", fmt.Errorf("family %s declared %s by %s, %s elsewhere", name, f.typ, src.Label, m.typ)
+				}
+				if m.help == "" {
+					m.help = f.help
+				}
+			}
+			for _, s := range f.samples {
+				if _, clash := s.labels[labelName]; clash {
+					return "", fmt.Errorf("exposition from %s: sample %s already carries label %q", src.Label, s.name, labelName)
+				}
+				samples[name] = append(samples[name], tagged{source: src.Label, s: s})
+			}
+		}
+	}
+	sort.Strings(order)
+	var b strings.Builder
+	for _, name := range order {
+		f := merged[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, tg := range samples[name] {
+			names := make([]string, 0, len(tg.s.labels)+1)
+			names = append(names, labelName)
+			le, hasLE := "", false
+			for k := range tg.s.labels {
+				if k == "le" {
+					le, hasLE = tg.s.labels[k], true
+					continue
+				}
+				names = append(names, k)
+			}
+			sort.Strings(names[1:])
+			values := make([]string, len(names))
+			values[0] = tg.source
+			for i, n := range names[1:] {
+				values[i+1] = tg.s.labels[n]
+			}
+			extraName, extraValue := "", ""
+			if hasLE {
+				extraName, extraValue = "le", le
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", tg.s.name,
+				labelString(names, values, extraName, extraValue), formatFloat(tg.s.value))
+		}
+	}
+	return b.String(), nil
+}
+
 // histLabelKey builds a canonical key from labels excluding le, plus
 // the le value itself.
 func histLabelKey(labels map[string]string) (key, le string, hasLE bool) {

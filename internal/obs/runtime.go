@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RegisterRuntimeMetrics bridges Go runtime telemetry into a registry as
+// exposition-time GaugeFunc/CounterFunc reads over runtime/metrics — no
+// background sampler, no stop-the-world ReadMemStats. Registered by
+// long-running processes (choreo serve, choreo-agent) so a fleet scrape
+// carries heap, GC and scheduler health next to the domain metrics.
+// Nil-safe: a nil registry no-ops.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("choreo_go_goroutines",
+		"Live goroutines in the process.",
+		runtimeSampler("/sched/goroutines:goroutines"))
+	r.GaugeFunc("choreo_go_heap_objects_bytes",
+		"Bytes of memory occupied by live heap objects plus dead objects not yet swept.",
+		runtimeSampler("/memory/classes/heap/objects:bytes"))
+	r.GaugeFunc("choreo_go_memory_total_bytes",
+		"All memory mapped by the Go runtime (heap, stacks, metadata).",
+		runtimeSampler("/memory/classes/total:bytes"))
+	r.CounterFunc("choreo_go_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		runtimeSampler("/gc/cycles/total:gc-cycles"))
+	r.CounterFunc("choreo_go_gc_pause_seconds_total",
+		"Approximate total stop-the-world GC pause time (bucket-midpoint sum of the runtime pause distribution).",
+		runtimeSampler("/sched/pauses/total/gc:seconds"))
+}
+
+// runtimeSampler returns a closure reading one runtime/metrics sample at
+// call time, folded to a float64. Histogram-valued metrics fold to the
+// bucket-midpoint weighted sum (the standard approximation for a total
+// derived from a distribution); unsupported or absent metrics read 0.
+func runtimeSampler(name string) func() float64 {
+	sample := []metrics.Sample{{Name: name}}
+	return func() float64 {
+		metrics.Read(sample)
+		switch sample[0].Value.Kind() {
+		case metrics.KindUint64:
+			return float64(sample[0].Value.Uint64())
+		case metrics.KindFloat64:
+			return sample[0].Value.Float64()
+		case metrics.KindFloat64Histogram:
+			return histogramSum(sample[0].Value.Float64Histogram())
+		}
+		return 0
+	}
+}
+
+// histogramSum approximates the sum of a runtime/metrics distribution:
+// Σ count × bucket midpoint, with infinite edges clamped to their finite
+// neighbor (a bucket with no finite edge contributes nothing).
+func histogramSum(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var sum float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			continue
+		case math.IsInf(lo, -1):
+			lo = hi
+		case math.IsInf(hi, 1):
+			hi = lo
+		}
+		sum += float64(n) * (lo + hi) / 2
+	}
+	return sum
+}

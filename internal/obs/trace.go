@@ -111,6 +111,92 @@ func (s Span) End(attrs ...Attr) {
 	s.t.emit(&e)
 }
 
+// EmitSpan writes a completed span that was measured elsewhere — the
+// cross-process stitching path: a coordinator replays an agent's spans
+// into its own event log, re-parented under the local span that issued
+// the remote work. Both the start and end events are written
+// immediately (wallStartNs from the remote clock, durNs from the remote
+// monotonic clock), so the emitted span obeys the schema's balanced-
+// pairs and parent-started-first invariants. The returned Span is
+// already ended: use it only to parent further emitted children (its
+// End no-ops).
+func (t *Tracer) EmitSpan(parent Span, name string, wallStartNs, durNs int64, attrs map[string]string) Span {
+	if t == nil {
+		return Span{}
+	}
+	if durNs < 0 {
+		durNs = 0
+	}
+	id := t.seq.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return Span{id: id}
+	}
+	start := Event{
+		V: EventVersion, Ev: "start", Span: id, Parent: parent.id,
+		Name: name, WallNs: wallStartNs, Attrs: attrs,
+	}
+	if err := t.enc.Encode(&start); err != nil {
+		t.err = err
+		return Span{id: id}
+	}
+	end := Event{
+		V: EventVersion, Ev: "end", Span: id, Name: name,
+		WallNs: wallStartNs + durNs, DurNs: durNs,
+	}
+	if err := t.enc.Encode(&end); err != nil {
+		t.err = err
+	}
+	return Span{id: id}
+}
+
+// SpanRecord is one completed span flattened from an event log: the
+// start/end pair joined, attrs merged (end attrs win on key collision).
+// It is the in-memory shape spans travel in when shipped across a
+// process boundary (a choreo-agent returns its spans as records inside
+// the control-protocol response).
+type SpanRecord struct {
+	ID     int64
+	Parent int64
+	Name   string
+	WallNs int64 // start wall-clock time
+	DurNs  int64
+	Attrs  map[string]string
+}
+
+// FlattenSpans joins a validated event stream (DecodeEvents order) into
+// completed span records, in span-start order.
+func FlattenSpans(events []Event) []SpanRecord {
+	var out []SpanRecord
+	index := make(map[int64]int) // span id -> position in out
+	for _, e := range events {
+		switch e.Ev {
+		case "start":
+			index[e.Span] = len(out)
+			out = append(out, SpanRecord{
+				ID: e.Span, Parent: e.Parent, Name: e.Name,
+				WallNs: e.WallNs, Attrs: e.Attrs,
+			})
+		case "end":
+			i, ok := index[e.Span]
+			if !ok {
+				continue
+			}
+			out[i].DurNs = e.DurNs
+			if len(e.Attrs) > 0 {
+				if out[i].Attrs == nil {
+					out[i].Attrs = make(map[string]string, len(e.Attrs))
+				}
+				for k, v := range e.Attrs {
+					out[i].Attrs[k] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
 type spanCtxKey struct{}
 
 // ContextWithSpan stashes a span in the context so layers that don't

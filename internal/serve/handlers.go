@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"choreo/internal/api"
@@ -34,6 +35,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/env", s.instrument("env", s.handleEnv))
 	mux.HandleFunc("GET /metrics", s.instrument("prom", s.handlePromMetrics))
 	mux.HandleFunc("/v1/", s.instrument("unknown", s.handleV1Fallback))
+	if s.cfg.Pprof {
+		// Deliberately unwrapped: pprof.Profile streams for its whole
+		// -seconds window and would smear the request-latency
+		// histograms with 30-second "requests".
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

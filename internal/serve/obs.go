@@ -53,6 +53,7 @@ func (s *Server) initObs() {
 	r.GaugeFunc("choreo_snapshot_epoch",
 		"Epoch number of the published snapshot (0 before the first).",
 		func() float64 { return float64(s.currentEpoch()) })
+	obs.RegisterRuntimeMetrics(r)
 }
 
 // statusWriter captures the response code for the request counters.

@@ -1,0 +1,58 @@
+package serve_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"choreo/internal/serve"
+)
+
+// TestPprofGuard pins the opt-in: /debug/pprof/ exists only when
+// Config.Pprof is set — the endpoints expose process internals, so a
+// default server must not mount them.
+func TestPprofGuard(t *testing.T) {
+	_, off := simServer(t, serve.Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /debug/pprof/ without Pprof = %v, want 404", resp.Status)
+	}
+
+	_, on := simServer(t, serve.Config{Pprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ with Pprof = %v, want 200", resp.Status)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%s", body)
+	}
+
+	// The profile endpoints ride the same guard, and the service API
+	// still answers next to them.
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline with Pprof = %v, want 200", resp.Status)
+	}
+	resp, err = http.Get(on.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /v1/health on a pprof-enabled server = %v, want 200", resp.Status)
+	}
+}

@@ -33,6 +33,12 @@ type Config struct {
 	// its rng from Seed plus a per-server request sequence number, so a
 	// single-client run is reproducible.
 	Seed int64
+	// Pprof, when true, mounts net/http/pprof under /debug/pprof/ on
+	// the service mux, so live CPU/heap profiles compose with the
+	// offline -cpuprofile story. Off by default: the profile endpoints
+	// expose process internals and cost real CPU while sampling, so
+	// they are opt-in per server.
+	Pprof bool
 	// Logf, when non-nil, receives operational log lines (epoch
 	// published, epoch failed).
 	Logf func(format string, args ...interface{})
