@@ -64,7 +64,9 @@ sweep-smoke: build
 	cmp $(BIN)/sweep-s1.jsonl $(BIN)/sweep-s8e.jsonl
 	$(BIN)/choreo obs validate-events $(BIN)/sweep-events.jsonl
 	$(BIN)/choreo obs report $(BIN)/sweep-events.jsonl | grep -q 'critical path'
-	@echo "sweep output is byte-identical across worker counts, cache states and with -events tracing on; obs report analyzed the span log"
+	$(BIN)/choreo obs report -format json $(BIN)/sweep-events.jsonl | grep -q '"criticalPath"'
+	$(BIN)/choreo obs report -format csv $(BIN)/sweep-events.jsonl | head -n 1 | grep -q '^name,count,total_ns'
+	@echo "sweep output is byte-identical across worker counts, cache states and with -events tracing on; obs report analyzed the span log in all three formats"
 
 # The distributed-sweep acceptance check: the default grid run as 3
 # shards and merged must be byte-identical to the unsharded stream, and
@@ -116,6 +118,11 @@ sweep-seq-smoke: build
 # stitched event log containing agent-side spans (proof the v3 trace
 # context crossed the process boundary), and a fleet metrics scrape
 # must merge into a valid exposition with per-agent labels.
+# The executed loop closes last: a -execute sweep must stream measured
+# columns next to predictions, aggregate through `choreo obs accuracy`,
+# leave exec.transfer spans in the event log and a valid
+# choreo_prediction_* exposition, and its CSV must carry non-empty
+# error_pct cells.
 LIVE_AGENTS = 127.0.0.1:17131,127.0.0.1:17132,127.0.0.1:17133
 LIVE_FLAGS = -backend live -agents $(LIVE_AGENTS) \
 	-topologies ec2-2013 -workloads shuffle -vms 3 -mean-mb 64 \
@@ -143,10 +150,21 @@ sweep-live-smoke: build
 	$(BIN)/choreo obs validate-prom $(BIN)/live-agents.prom; \
 	grep -q 'agent="127.0.0.1:17131"' $(BIN)/live-agents.prom; \
 	grep -q 'choreo_agent_trains_total' $(BIN)/live-agents.prom; \
+	$(BIN)/choreo sweep $(LIVE_FLAGS) -execute -stream \
+		-events $(BIN)/exec-events.jsonl -metrics $(BIN)/exec-metrics.prom \
+		-out $(BIN)/live-exec.jsonl; \
+	$(BIN)/choreo obs accuracy $(BIN)/live-exec.jsonl | grep -q 'prediction error by algorithm'; \
+	$(BIN)/choreo obs validate-prom $(BIN)/exec-metrics.prom; \
+	grep -q 'choreo_prediction_error_ratio_bucket' $(BIN)/exec-metrics.prom; \
+	$(BIN)/choreo obs validate-events $(BIN)/exec-events.jsonl; \
+	grep -q '"name":"exec.transfer"' $(BIN)/exec-events.jsonl; \
+	$(BIN)/choreo sweep $(LIVE_FLAGS) -execute -csv $(BIN)/live-exec.csv -out $(BIN)/live-exec.json; \
+	head -n 1 $(BIN)/live-exec.csv | grep -q 'predicted_s,measured_s,error_pct'; \
+	awk -F, 'NR>1 && $$NF != "" {n++} END {exit n==0}' $(BIN)/live-exec.csv; \
 	kill $$a1 $$a2 $$a3 2>/dev/null || true; \
 	$(BIN)/choreo sweep $(LIVE_FLAGS) -stream -resume $(BIN)/live-run1.jsonl -out $(BIN)/live-replay.jsonl; \
 	cmp $(BIN)/live-run1.jsonl $(BIN)/live-replay.jsonl
-	@echo "live-mesh sweep is schema-stable, replays through -resume, stitched agent spans into one trace and served a merged fleet scrape"
+	@echo "live-mesh sweep is schema-stable, replays through -resume, stitched agent spans into one trace, served a merged fleet scrape, and the executed loop produced measured-vs-predicted accuracy"
 
 # The placement-service acceptance check (sim backend): start the
 # server, place the same application twice through the versioned client,

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 	"time"
 
+	"choreo/internal/cluster"
 	"choreo/internal/obs"
 	"choreo/internal/probe"
 	"choreo/internal/sweep/backend"
@@ -88,8 +92,11 @@ func (f *fleetFlags) train() probe.Config {
 // live measurement backend: split and check the fleet, assemble the
 // train, stamp the epoch. A non-nil observer instruments every mesh
 // the backend runs (pair/RTT histograms, per-agent failure counters,
-// mesh/pair spans) into the caller's sinks.
-func (f *fleetFlags) liveBackend(o *obs.Observer) (*backend.Live, error) {
+// mesh/pair spans) into the caller's sinks. execute turns predictions
+// into real bulk transfers: every chosen placement's inter-machine
+// flows run over the fleet and the measured completion is recorded
+// next to the predicted one.
+func (f *fleetFlags) liveBackend(o *obs.Observer, execute bool) (*backend.Live, error) {
 	addrs, err := f.addrs(2)
 	if err != nil {
 		return nil, err
@@ -101,7 +108,34 @@ func (f *fleetFlags) liveBackend(o *obs.Observer) (*backend.Live, error) {
 		// Stamp each invocation as its own mesh epoch: a real cloud
 		// drifts between runs, so two runs' measurements must never be
 		// conflated by anything keyed on cell identity.
-		Epoch: time.Now().Unix(),
-		Obs:   o,
+		Epoch:   time.Now().Unix(),
+		Obs:     o,
+		Execute: execute,
 	})
+}
+
+// preflight is `choreo agents health` run as the live sweep's first
+// act: dial, handshake and RTT-probe every agent before any cell is
+// built, and fail naming each unreachable agent — a sick fleet should
+// surface as one actionable error, not as a dial failure buried
+// mid-sweep. Healthy fleets get a one-line stderr confirmation.
+func (f *fleetFlags) preflight(ctx context.Context) error {
+	addrs, err := f.addrs(2)
+	if err != nil {
+		return err
+	}
+	coord := cluster.NewCoordinator(addrs, *f.agentTimeout)
+	results, healthy := coord.CheckFleet(ctx)
+	if healthy == len(addrs) {
+		fmt.Fprintf(os.Stderr, "preflight: all %d agents healthy\n", len(addrs))
+		return nil
+	}
+	sick := make([]string, 0, len(addrs)-healthy)
+	for _, h := range results {
+		if !h.OK() {
+			sick = append(sick, fmt.Sprintf("%s (%v)", h.Addr, h.Err))
+		}
+	}
+	return fmt.Errorf("preflight: %d of %d agents unhealthy: %s",
+		len(sick), len(addrs), strings.Join(sick, "; "))
 }

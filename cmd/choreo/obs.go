@@ -2,15 +2,19 @@ package main
 
 import (
 	"bufio"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"choreo/internal/obs"
+	"choreo/internal/sweep"
 )
 
 // eventsObserver builds the observer behind a -events flag: a span
@@ -41,21 +45,31 @@ func eventsObserver(path string) (*obs.Observer, func() error, error) {
 	return o, closeFn, nil
 }
 
-// runObsCmd is `choreo obs <validate-prom|validate-events|report>
-// [file]`: the repo's own validators for the two observability formats
-// (so CI can check a /metrics scrape or a -events log without promtool
-// or jq schema hacks) plus the offline span-log analyzer. Reads the
-// file argument or stdin; exits non-zero with a line-precise error on
-// malformed input.
+// runObsCmd is `choreo obs
+// <validate-prom|validate-events|report|accuracy> [file]`: the repo's
+// own validators for the two observability formats (so CI can check a
+// /metrics scrape or a -events log without promtool or jq schema
+// hacks), the offline span-log analyzer, and the executed-sweep
+// accuracy aggregator. Reads the file argument or stdin; exits
+// non-zero with a line-precise error on malformed input.
 func runObsCmd(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: choreo obs <validate-prom|validate-events|report> [file]")
+		return fmt.Errorf("usage: choreo obs <validate-prom|validate-events|report|accuracy> [file]")
 	}
 	sub, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("obs "+sub, flag.ExitOnError)
 	top := fs.Int("top", 5, "report: how many slowest spans to list")
+	format := fs.String("format", "text", "report: output format (text, json or csv)")
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if *format != "text" && sub != "report" {
+		return fmt.Errorf("obs %s: -format applies to report only", sub)
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		return fmt.Errorf("obs report: unknown format %q (text, json or csv)", *format)
 	}
 	if fs.NArg() > 1 {
 		return fmt.Errorf("obs %s: at most one input file (default stdin)", sub)
@@ -97,9 +111,21 @@ func runObsCmd(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", src, err)
 		}
+		switch *format {
+		case "json":
+			return obsReportJSON(os.Stdout, src, evs, *top)
+		case "csv":
+			return obsReportCSV(os.Stdout, evs)
+		}
 		return obsReport(os.Stdout, src, evs, *top)
+	case "accuracy":
+		rep, err := sweep.LoadAccuracy(bufio.NewReader(r))
+		if err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+		fmt.Print(rep.Render())
 	default:
-		return fmt.Errorf("obs: unknown subcommand %q (validate-prom, validate-events or report)", sub)
+		return fmt.Errorf("obs: unknown subcommand %q (validate-prom, validate-events, report or accuracy)", sub)
 	}
 	return nil
 }
@@ -151,6 +177,78 @@ func obsReport(w io.Writer, src string, events []obs.Event, top int) error {
 		fmt.Fprintf(w, "  %-24s %12s%s\n", rec.Name, fmtNs(rec.DurNs), attrSuffix(rec.Attrs))
 	}
 	return nil
+}
+
+// obsReportJSON emits the same analysis as obsReport as one JSON
+// document, so dashboards and scripts consume the span log without
+// re-implementing forest reconstruction.
+func obsReportJSON(w io.Writer, src string, events []obs.Event, top int) error {
+	forest := obs.BuildForest(events)
+	type spanOut struct {
+		Name  string            `json:"name"`
+		DurNs int64             `json:"durNs"`
+		Attrs map[string]string `json:"attrs,omitempty"`
+	}
+	type statOut struct {
+		Name    string `json:"name"`
+		Count   int    `json:"count"`
+		TotalNs int64  `json:"totalNs"`
+		P50Ns   int64  `json:"p50Ns"`
+		P99Ns   int64  `json:"p99Ns"`
+		MaxNs   int64  `json:"maxNs"`
+	}
+	doc := struct {
+		Source       string    `json:"source"`
+		Events       int       `json:"events"`
+		Roots        int       `json:"roots"`
+		Stats        []statOut `json:"stats"`
+		CriticalPath []spanOut `json:"criticalPath,omitempty"`
+		Slowest      []spanOut `json:"slowest,omitempty"`
+	}{Source: src, Events: len(events), Roots: len(forest), Stats: []statOut{}}
+	for _, st := range obs.AggregateByName(events) {
+		doc.Stats = append(doc.Stats, statOut(st))
+	}
+	if len(forest) > 0 {
+		longest := forest[0]
+		for _, rt := range forest[1:] {
+			if rt.DurNs > longest.DurNs {
+				longest = rt
+			}
+		}
+		for _, n := range obs.CriticalPath(longest) {
+			doc.CriticalPath = append(doc.CriticalPath, spanOut{n.Name, n.DurNs, n.Attrs})
+		}
+		recs := obs.FlattenSpans(events)
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].DurNs > recs[j].DurNs })
+		if len(recs) > top {
+			recs = recs[:top]
+		}
+		for _, rec := range recs {
+			doc.Slowest = append(doc.Slowest, spanOut{rec.Name, rec.DurNs, rec.Attrs})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// obsReportCSV emits the per-name aggregate table as CSV — the piece of
+// the report spreadsheets want.
+func obsReportCSV(w io.Writer, events []obs.Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "count", "total_ns", "p50_ns", "p99_ns", "max_ns"}); err != nil {
+		return err
+	}
+	for _, st := range obs.AggregateByName(events) {
+		row := []string{st.Name, strconv.Itoa(st.Count),
+			strconv.FormatInt(st.TotalNs, 10), strconv.FormatInt(st.P50Ns, 10),
+			strconv.FormatInt(st.P99Ns, 10), strconv.FormatInt(st.MaxNs, 10)}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 func fmtNs(ns int64) string {

@@ -35,6 +35,7 @@ func runServe(args []string) (err error) {
 	seed := fs.Int64("seed", 1, "deterministic seed (sim cloud + random-baseline rng)")
 	model := fs.String("model", "hose", "default rate model: hose or pipe")
 	interval := fs.Duration("interval", 5*time.Minute, "background re-measurement interval (0 disables re-measuring)")
+	executeEvery := fs.Int("execute-every", 0, "execute a sample placement as real transfers every Nth epoch and record measured-vs-predicted accuracy (live backend only; 0 disables)")
 	quotaRate := fs.Float64("quota-rate", 0, "per-tenant requests/second on place+migrate (0 = unlimited)")
 	quotaBurst := fs.Int("quota-burst", 10, "per-tenant burst depth for -quota-rate")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (live profiling; exposes process internals — keep the listener private)")
@@ -81,6 +82,9 @@ func runServe(args []string) (err error) {
 
 	switch *backendName {
 	case "sim":
+		if *executeEvery > 0 {
+			return fmt.Errorf("-execute-every runs sample placements on a real agent fleet; add -backend live")
+		}
 		if err := fleetFlagMisuse(set, "add -backend live"); err != nil {
 			return err
 		}
@@ -94,7 +98,7 @@ func runServe(args []string) (err error) {
 		if set["profile"] {
 			return fmt.Errorf("-profile selects the simulated cloud; a live server measures the real fleet")
 		}
-		live, err := fleet.liveBackend(observer)
+		live, err := fleet.liveBackend(observer, *executeEvery > 0)
 		if err != nil {
 			return err
 		}
@@ -108,6 +112,7 @@ func runServe(args []string) (err error) {
 		}
 		cfg.Backend = live
 		cfg.Cell = backend.Cell{Topology: "live", VMs: n, Seed: *seed}
+		cfg.ExecuteEvery = *executeEvery
 	default:
 		return fmt.Errorf("unknown -backend %q (sim or live)", *backendName)
 	}

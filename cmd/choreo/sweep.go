@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"choreo/internal/obs"
 	"choreo/internal/place"
 	"choreo/internal/sweep"
 	"choreo/internal/sweep/envcache"
@@ -66,6 +68,7 @@ func runSweep(args []string) (err error) {
 	maxMigrations := fs.Int("max-migrations", 3, "migration cap per application (sequence mode)")
 	model := fs.String("model", "hose", "rate model: hose or pipe")
 	backendName := fs.String("backend", "sim", "measurement backend: sim (deterministic netsim cloud) or live (real choreo-agent mesh)")
+	execute := fs.Bool("execute", false, "run every chosen placement as real bulk transfers over the agent fleet and record measured next to predicted completion (requires -backend live)")
 	fleet := registerFleetFlags(fs)
 	tracePath := fs.String("trace", "", "JSON trace file to replay as an extra workload")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (0 = GOMAXPROCS)")
@@ -78,7 +81,8 @@ func runSweep(args []string) (err error) {
 	resumePath := fs.String("resume", "", "JSONL report or shard from a prior (possibly interrupted) run with the same flags; scenarios that already have a result line are not re-executed")
 	cache := fs.Bool("cache", true, "share one built-and-measured cloud across each cell's algorithms and optimal reference")
 	cacheStats := fs.Bool("cache-stats", false, "print environment-cache hit/miss counters to stderr")
-	events := fs.String("events", "", "write a schema'd JSONL span log (run/cell/build/measure/place/report, plus mesh/pair with -backend live) to this file; validate with `choreo obs validate-events`")
+	events := fs.String("events", "", "write a schema'd JSONL span log (run/cell/build/measure/place/report, plus mesh/pair with -backend live and exec.placement/exec.transfer with -execute) to this file; validate with `choreo obs validate-events`")
+	metricsPath := fs.String("metrics", "", "write the run's final Prometheus metrics exposition to this file; validate with `choreo obs validate-prom`")
 	list := fs.Bool("list", false, "list valid topologies, workloads and algorithms, then exit")
 	prof := registerProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -225,16 +229,45 @@ func runSweep(args []string) (err error) {
 			err = fmt.Errorf("-events %s: %w", *events, e)
 		}
 	}()
+	if *metricsPath != "" {
+		// The events observer is trace-only; a metrics dump needs a live
+		// registry for the run to record into.
+		if observer == nil {
+			observer = &obs.Observer{}
+		}
+		observer.Metrics = obs.NewRegistry()
+		defer func() {
+			if err != nil {
+				return
+			}
+			if e := writeTo(*metricsPath, observer.Metrics.WritePrometheus); e != nil {
+				err = fmt.Errorf("-metrics %s: %w", *metricsPath, e)
+			}
+		}()
+	}
 
 	switch *backendName {
 	case "sim":
 		// A live-only flag on a simulated sweep would be silently ignored;
 		// fail with the fix instead.
+		if *execute {
+			return fmt.Errorf("-execute runs placements on a real agent fleet; add -backend live")
+		}
 		if err := fleetFlagMisuse(set, "add -backend live"); err != nil {
 			return err
 		}
 	case "live":
-		live, err := fleet.liveBackend(observer)
+		// Preflight the whole fleet before any cell is built: a sick
+		// fleet surfaces as one error naming every unreachable agent.
+		// Resumed runs skip it — a complete prior replays every cell
+		// from the JSONL without contacting a single agent, and a
+		// partial one still fails per-cell with the agent named.
+		if *resumePath == "" {
+			if err := fleet.preflight(context.Background()); err != nil {
+				return err
+			}
+		}
+		live, err := fleet.liveBackend(observer, *execute)
 		if err != nil {
 			return err
 		}

@@ -30,7 +30,8 @@ import (
 //	v2: added the version handshake itself (strict equality both ways)
 //	v3: optional trace context on requests (traceId/traceSpan/peer),
 //	    completed agent spans + machine-readable errCause + uptime on
-//	    responses, and the "metrics" scrape op
+//	    responses, the "metrics" scrape op, and byte-bounded bulk sends
+//	    (tcp-send with a "bytes" field; executed placements)
 //
 // From v3 on, the agent accepts any version in
 // [MinProtocolVersion, ProtocolVersion] and replies at the requester's
@@ -70,6 +71,13 @@ type Request struct {
 	DurationMs int64  `json:"durationMs,omitempty"`
 	RTTNs      int64  `json:"rttNs,omitempty"`
 	Count      int    `json:"count,omitempty"`
+
+	// Bytes switches tcp-send from duration-bounded junk to a
+	// byte-bounded payload: write exactly Bytes bytes, then close so the
+	// receiver measures to EOF (v3; executed placements). The
+	// coordinator refuses to send it to a v2 peer rather than let a
+	// stale agent silently fall back to a duration-bounded send.
+	Bytes int64 `json:"bytes,omitempty"`
 
 	// Trace context (v3). TraceID scopes span IDs to one coordinator
 	// run; TraceSpan is the coordinator-side span the agent's spans are
@@ -442,7 +450,13 @@ func (a *Agent) dispatch(req *Request, enc *json.Encoder) error {
 		}
 		sp := rt.tracer().Start(obs.Span{}, "agent.bulk",
 			obs.String("role", "send"), obs.String("peer", peerLabel(req)))
-		sent, err := BulkSend(req.Target, dur)
+		var sent units.ByteSize
+		var err error
+		if req.Bytes > 0 {
+			sent, err = BulkSendN(req.Target, units.ByteSize(req.Bytes), reqTimeout(req, 30*time.Second))
+		} else {
+			sent, err = BulkSend(req.Target, dur)
+		}
 		if err != nil {
 			sp.End(obs.String("outcome", "error"))
 			return opFail("bulk", err)

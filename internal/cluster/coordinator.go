@@ -137,8 +137,16 @@ func ctxCause(ctx context.Context, err error) error {
 // loop terminates because every downgrade strictly lowers s.ver and
 // readWithin only accepts versions >= MinProtocolVersion.
 func (s *session) call(ctx context.Context, req *Request) (*Response, error) {
+	return s.callWithin(ctx, req, s.timeout)
+}
+
+// callWithin is call with an explicit reply deadline, for operations
+// whose first response only lands once the remote work completes — a
+// byte-bounded bulk send acknowledges after the last byte, which can
+// be well past one control round-trip.
+func (s *session) callWithin(ctx context.Context, req *Request, d time.Duration) (*Response, error) {
 	for {
-		resp, err := s.send(ctx, req)
+		resp, err := s.send(ctx, req, d)
 		var dg *downgradeError
 		if errors.As(err, &dg) {
 			s.ver = dg.to
@@ -149,7 +157,14 @@ func (s *session) call(ctx context.Context, req *Request) (*Response, error) {
 	}
 }
 
-func (s *session) send(ctx context.Context, req *Request) (*Response, error) {
+func (s *session) send(ctx context.Context, req *Request, readDeadline time.Duration) (*Response, error) {
+	if s.ver < 3 && req.Bytes > 0 {
+		// A pre-v3 agent would ignore the bytes field and quietly run a
+		// duration-bounded send instead — refuse rather than let an
+		// executed placement measure the wrong transfer.
+		s.m.fail(s.addr, "proto")
+		return nil, fmt.Errorf("cluster: agent %s speaks protocol v%d; byte-bounded bulk transfers need v%d — upgrade choreo-agent", s.addr, s.ver, ProtocolVersion)
+	}
 	req.V = s.ver
 	// Propagate trace context: the span in ctx (the pair or bulk span
 	// that issued this remote work) becomes the parent of the agent's
@@ -179,18 +194,13 @@ func (s *session) send(ctx context.Context, req *Request) (*Response, error) {
 		s.m.fail(s.addr, failureCause(ctx, err, "send"))
 		return nil, fmt.Errorf("cluster: send to agent %s: %w", s.addr, ctxCause(ctx, err))
 	}
-	return s.read(ctx)
+	return s.readWithin(ctx, readDeadline)
 }
 
-// read decodes one response within the session timeout. A peer that
-// accepted the connection but never answers — a wedged or pre-protocol
-// process — therefore fails with a deadline error instead of hanging
-// the coordinator forever.
-func (s *session) read(ctx context.Context) (*Response, error) {
-	return s.readWithin(ctx, s.timeout)
-}
-
-// readWithin decodes one response with an explicit deadline; two-phase
+// readWithin decodes one response with an explicit deadline (ordinary
+// calls use the session timeout: a peer that accepted the connection
+// but never answers — a wedged or pre-protocol process — fails with a
+// deadline error instead of hanging the coordinator). Two-phase
 // operations use it for the result line, whose arrival is bounded by
 // the remote measurement's own timeout rather than one control
 // round-trip. A canceled context interrupts the read immediately.
@@ -519,4 +529,67 @@ func (c *Coordinator) bulkThroughput(ctx context.Context, src, dst int, duration
 		return 0, err
 	}
 	return units.Rate(result.RateBits), nil
+}
+
+// BulkTransfer ships exactly n bytes from src to dst — one flow of an
+// executed placement — and returns the receiver-measured rate and byte
+// count. budget bounds the transfer itself (the caller derives it from
+// the predicted completion); control-protocol slack is added on top, so
+// a stalled flow fails with a deadline error instead of wedging the
+// placement. Requires v3 agents on both ends: a v2 peer is refused
+// rather than silently degraded to a duration-bounded send.
+func (c *Coordinator) BulkTransfer(ctx context.Context, src, dst int, n units.ByteSize, budget time.Duration) (units.Rate, units.ByteSize, error) {
+	if src == dst {
+		return 0, 0, fmt.Errorf("cluster: src == dst")
+	}
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("cluster: bulk transfer of %d bytes", n)
+	}
+	span := c.obs.StartSpan(obs.SpanFromContext(ctx), "cluster.bulk",
+		obs.Int("src", int64(src)), obs.Int("dst", int64(dst)),
+		obs.String("srcAddr", c.agents[src]), obs.String("dstAddr", c.agents[dst]),
+		obs.Int("bytes", int64(n)))
+	ctx = spanCtx(ctx, span)
+	rate, got, err := c.bulkTransfer(ctx, src, dst, n, budget)
+	if err != nil {
+		span.End(obs.String("outcome", "error"))
+		return 0, 0, err
+	}
+	span.End(obs.String("outcome", "ok"), obs.Float("rateBits", float64(rate)))
+	return rate, got, nil
+}
+
+func (c *Coordinator) bulkTransfer(ctx context.Context, src, dst int, n units.ByteSize, budget time.Duration) (units.Rate, units.ByteSize, error) {
+	dstSess, err := c.dial(ctx, c.agents[dst])
+	if err != nil {
+		return 0, 0, err
+	}
+	defer dstSess.close()
+	ready, err := dstSess.call(ctx, &Request{Op: "tcp-recv", TimeoutMs: (budget + c.timeout).Milliseconds(), Peer: c.agents[src]})
+	if err != nil {
+		return 0, 0, err
+	}
+	host, _, err := net.SplitHostPort(c.agents[dst])
+	if err != nil {
+		return 0, 0, err
+	}
+	target := net.JoinHostPort(host, fmt.Sprint(ready.Port))
+
+	srcSess, err := c.dial(ctx, c.agents[src])
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srcSess.close()
+	// The send acknowledges once the last byte is written, so its reply
+	// deadline is the transfer budget plus control slack, not one
+	// round-trip.
+	sendReq := &Request{Op: "tcp-send", Target: target, Bytes: int64(n), TimeoutMs: budget.Milliseconds(), Peer: c.agents[dst]}
+	if _, err := srcSess.callWithin(ctx, sendReq, budget+c.timeout); err != nil {
+		return 0, 0, err
+	}
+	result, err := dstSess.readWithin(ctx, budget+c.timeout)
+	if err != nil {
+		return 0, 0, err
+	}
+	return units.Rate(result.RateBits), units.ByteSize(result.Bytes), nil
 }

@@ -336,3 +336,35 @@ func BulkSend(target string, duration time.Duration) (units.ByteSize, error) {
 	}
 	return sent, nil
 }
+
+// BulkSendN connects to target and writes exactly n bytes, then closes
+// the connection so the receiver sees EOF — the byte-bounded sending
+// half an executed placement uses: the flow carries the traffic
+// matrix's payload, not a fixed duration of junk. timeout bounds each
+// write; a stalled receiver surfaces as a deadline error rather than a
+// wedged flow.
+func BulkSendN(target string, n units.ByteSize, timeout time.Duration) (units.ByteSize, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("cluster: bulk send of %d bytes", n)
+	}
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: dial bulk target: %w", err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 256*1024)
+	var sent units.ByteSize
+	for sent < n {
+		chunk := buf
+		if rem := n - sent; rem < units.ByteSize(len(buf)) {
+			chunk = buf[:rem]
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+		w, err := conn.Write(chunk)
+		sent += units.ByteSize(w)
+		if err != nil {
+			return sent, fmt.Errorf("cluster: bulk write: %w", err)
+		}
+	}
+	return sent, nil
+}

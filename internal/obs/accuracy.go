@@ -1,0 +1,87 @@
+package obs
+
+import "math"
+
+// Accuracy is the measured-vs-predicted plane: every executed placement
+// records how far the completion-time objective's prediction landed
+// from the wall clock the real transfers delivered (the paper's §6
+// validation, kept running continuously). One recorder serves both the
+// sweep engine (per-cell, labeled by algorithm and topology) and the
+// live backend (per-agent-pair rate gauges).
+//
+// A nil *Accuracy no-ops on every method, and NewAccuracy on a nil
+// registry hands out standalone metrics — instrumented code records
+// unconditionally, matching the rest of the package.
+type Accuracy struct {
+	// choreo_prediction_error_ratio{algorithm,topology}: histogram of
+	// predicted/measured completion ratios (1.0 = perfectly calibrated).
+	ratio *HistogramVec
+	// choreo_prediction_abs_error_ms_total{algorithm,topology}:
+	// accumulated |predicted − measured| in milliseconds.
+	absErrMs *CounterVec
+	// choreo_prediction_bias_ms_total{algorithm,topology,direction}:
+	// signed error split into over/under accumulation, so systematic
+	// bias is visible where absolute error alone would hide it.
+	biasMs *CounterVec
+	// choreo_executions_total{algorithm,topology}: executed placements.
+	executions *CounterVec
+	// choreo_pair_rate_error_ratio{src,dst}: latest predicted/measured
+	// bulk-rate ratio per agent pair.
+	pairRatio *GaugeVec
+}
+
+// RatioBuckets is the bucket layout for prediction-ratio histograms:
+// centered on 1.0 (calibrated), with enough resolution near 1 to tell a
+// 5% miss from a 25% one and tails out to 10× either way.
+func RatioBuckets() []float64 {
+	return []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1, 1.05, 1.1, 1.25, 1.5, 2, 4, 10}
+}
+
+// NewAccuracy registers the accuracy-plane metrics in r.
+func NewAccuracy(r *Registry) *Accuracy {
+	return &Accuracy{
+		ratio: r.HistogramVec("choreo_prediction_error_ratio",
+			"Predicted/measured completion-time ratio of executed placements (1 = calibrated).",
+			RatioBuckets(), "algorithm", "topology"),
+		absErrMs: r.CounterVec("choreo_prediction_abs_error_ms_total",
+			"Accumulated absolute prediction error of executed placements, milliseconds.",
+			"algorithm", "topology"),
+		biasMs: r.CounterVec("choreo_prediction_bias_ms_total",
+			"Accumulated signed prediction error by direction (over = predicted slower than measured).",
+			"algorithm", "topology", "direction"),
+		executions: r.CounterVec("choreo_executions_total",
+			"Placements executed as real transfers.", "algorithm", "topology"),
+		pairRatio: r.GaugeVec("choreo_pair_rate_error_ratio",
+			"Latest predicted/measured bulk-transfer rate ratio per agent pair.",
+			"src", "dst"),
+	}
+}
+
+// RecordExecution records one executed placement's predicted and
+// measured completion (seconds).
+func (a *Accuracy) RecordExecution(algorithm, topology string, predicted, measured float64) {
+	if a == nil {
+		return
+	}
+	a.executions.With(algorithm, topology).Inc()
+	if measured > 0 {
+		a.ratio.With(algorithm, topology).Observe(predicted / measured)
+	}
+	errMs := int64(math.Round((predicted - measured) * 1000))
+	if errMs >= 0 {
+		a.biasMs.With(algorithm, topology, "over").Add(errMs)
+		a.absErrMs.With(algorithm, topology).Add(errMs)
+	} else {
+		a.biasMs.With(algorithm, topology, "under").Add(-errMs)
+		a.absErrMs.With(algorithm, topology).Add(-errMs)
+	}
+}
+
+// RecordPairRate records one executed flow's predicted and measured
+// bulk rate (bits/s) between two agents.
+func (a *Accuracy) RecordPairRate(src, dst string, predicted, measured float64) {
+	if a == nil || measured <= 0 {
+		return
+	}
+	a.pairRatio.With(src, dst).Set(predicted / measured)
+}

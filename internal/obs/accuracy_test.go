@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("g_ratio", "help", "src", "dst")
+	v.With("a", "b").Set(1.5)
+	v.With("a", "b").Set(2.5) // latest wins
+	v.With("c", "d").Set(0.5)
+	if got := v.With("a", "b").Value(); got != 2.5 {
+		t.Fatalf("gauge series = %g, want 2.5", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`# TYPE g_ratio gauge`,
+		`g_ratio{src="a",dst="b"} 2.5`,
+		`g_ratio{src="c",dst="d"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Same name + labels resolves to the same series; nil-safe loose
+	// mode works.
+	if r.GaugeVec("g_ratio", "help", "src", "dst").With("a", "b") != v.With("a", "b") {
+		t.Error("re-registration did not resolve to the existing series")
+	}
+	var nilReg *Registry
+	lv := nilReg.GaugeVec("loose_ratio", "", "k")
+	lv.With("x").Set(3)
+	if got := lv.With("x").Value(); got != 3 {
+		t.Errorf("loose gauge series = %g, want 3", got)
+	}
+	var nilVec *GaugeVec
+	nilVec.With("x").Set(1) // must not panic
+}
+
+func TestAccuracyRecordsAllFamilies(t *testing.T) {
+	r := NewRegistry()
+	a := NewAccuracy(r)
+	a.RecordExecution("choreo", "live", 2.0, 1.6)  // over-predicted by 0.4s
+	a.RecordExecution("choreo", "live", 1.0, 1.25) // under-predicted by 0.25s
+	a.RecordPairRate("h1:1", "h2:1", 100e6, 80e6)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`choreo_executions_total{algorithm="choreo",topology="live"} 2`,
+		`choreo_prediction_abs_error_ms_total{algorithm="choreo",topology="live"} 650`,
+		`choreo_prediction_bias_ms_total{algorithm="choreo",topology="live",direction="over"} 400`,
+		`choreo_prediction_bias_ms_total{algorithm="choreo",topology="live",direction="under"} 250`,
+		`choreo_prediction_error_ratio_count{algorithm="choreo",topology="live"} 2`,
+		`choreo_pair_rate_error_ratio{src="h1:1",dst="h2:1"} 1.25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Errorf("accuracy exposition fails validate-prom: %v", err)
+	}
+}
+
+func TestAccuracyNilSafe(t *testing.T) {
+	var a *Accuracy
+	a.RecordExecution("x", "y", 1, 2)
+	a.RecordPairRate("s", "d", 1, 2)
+	// A zero-measured execution must not divide by zero.
+	NewAccuracy(nil).RecordExecution("x", "y", 1, 0)
+}

@@ -439,6 +439,53 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.seriesFor(values).c
 }
 
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	r *Registry // nil for standalone
+	f *family
+
+	mu    sync.Mutex // standalone mode only
+	loose map[string]*Gauge
+}
+
+// GaugeVec returns the labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if len(labelNames) == 0 {
+		panic("obs: GaugeVec needs at least one label (use Gauge)")
+	}
+	if r == nil {
+		return &GaugeVec{loose: make(map[string]*Gauge)}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &GaugeVec{r: r, f: r.family(name, help, kindGauge, nil, labelNames...)}
+}
+
+// With returns the gauge for the given label values (get-or-create).
+// The value count must match the registered label names.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return &Gauge{}
+	}
+	if v.r == nil {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		key := strings.Join(values, "\x00")
+		g, ok := v.loose[key]
+		if !ok {
+			g = &Gauge{}
+			v.loose[key] = g
+		}
+		return g
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return v.f.seriesFor(values).g
+}
+
 // HistogramVec is a family of histograms keyed by label values.
 type HistogramVec struct {
 	r *Registry

@@ -17,6 +17,7 @@ type serveMetrics struct {
 	quotaRejected *obs.CounterVec   // choreo_quota_rejected_total{tenant}
 	epochFailures *obs.CounterVec   // choreo_epoch_failures_total{cause}
 	epochSeconds  *obs.Histogram    // choreo_epoch_measure_seconds
+	acc           *obs.Accuracy     // choreo_prediction_* (sampled executions)
 }
 
 func (s *Server) initObs() {
@@ -32,6 +33,7 @@ func (s *Server) initObs() {
 			"Failed measurement epochs by cause.", "cause"),
 		epochSeconds: r.Histogram("choreo_epoch_measure_seconds",
 			"Wall-clock duration of mesh measurement epochs.", obs.DurationBuckets()),
+		acc: obs.NewAccuracy(r),
 	}
 	r.CounterFunc("choreo_epochs_total",
 		"Measurement epochs published.",

@@ -3,12 +3,15 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
 	"choreo/internal/obs"
 	"choreo/internal/place"
 	"choreo/internal/sweep/backend"
+	"choreo/internal/units"
+	"choreo/internal/workload"
 )
 
 // Config parameterizes a placement server.
@@ -24,6 +27,14 @@ type Config struct {
 	// Interval is the background re-measurement period; zero or
 	// negative disables background epochs (the boot epoch still runs).
 	Interval time.Duration
+	// ExecuteEvery, when positive on a backend that executes (live with
+	// execution on), closes the prediction loop continuously: after
+	// every Nth published epoch the server generates a small
+	// deterministic sample application, places it on the fresh snapshot
+	// and runs the placement as real bulk transfers, feeding the
+	// measured-vs-predicted accuracy metrics. A failed sample is logged
+	// and counted; it never fails the epoch.
+	ExecuteEvery int
 	// QuotaRate is the per-tenant request rate (tokens/second) for the
 	// compute endpoints; <= 0 means unlimited. QuotaBurst is the bucket
 	// depth (minimum 1).
@@ -134,7 +145,62 @@ func (s *Server) Refresh(ctx context.Context) error {
 		obs.Int("epoch", snap.Epoch), obs.Int("machines", int64(env.Machines())))
 	s.logf("epoch %d published: %d machines, measured in %.2fs, env %s",
 		snap.Epoch, env.Machines(), snap.Elapsed.Seconds(), snap.Hash)
+	s.maybeSample(ctx, snap)
 	return nil
+}
+
+// maybeSample runs the per-epoch accuracy sample when configured (see
+// Config.ExecuteEvery). The snapshot is already published: sampling
+// happens strictly after availability, and its failure modes are its
+// own (cause "sample"), never the epoch's.
+func (s *Server) maybeSample(ctx context.Context, snap *Snapshot) {
+	if s.cfg.ExecuteEvery <= 0 || !s.cfg.Backend.Executes() ||
+		snap.Epoch%int64(s.cfg.ExecuteEvery) != 0 {
+		return
+	}
+	span := s.obs.StartSpan(obs.Span{}, "serve.sample", obs.Int("epoch", snap.Epoch))
+	if span.ID() != 0 {
+		ctx = obs.ContextWithSpan(ctx, span)
+	}
+	exec, err := s.sampleExecution(ctx, snap)
+	switch {
+	case err != nil:
+		s.metrics.epochFailures.With("sample").Inc()
+		span.End(obs.String("outcome", "error"))
+		s.logf("accuracy sample failed (snapshot %d unaffected): %v", snap.Epoch, err)
+	case !exec.Executed:
+		// Fully co-located sample: nothing crossed the network, so there
+		// is nothing to validate the prediction against.
+		span.End(obs.String("outcome", "colocated"))
+	default:
+		s.metrics.acc.RecordExecution("choreo", s.cfg.Cell.Topology,
+			exec.Predicted.Seconds(), exec.Measured.Seconds())
+		span.End(obs.String("outcome", "ok"),
+			obs.Int("predictedNs", exec.Predicted.Nanoseconds()),
+			obs.Int("measuredNs", exec.Measured.Nanoseconds()))
+		s.logf("accuracy sample epoch %d: predicted %.2fs, measured %.2fs",
+			snap.Epoch, exec.Predicted.Seconds(), exec.Measured.Seconds())
+	}
+}
+
+// sampleExecution generates the epoch's deterministic sample app
+// (seeded by Config.Seed + epoch, so a restarted server replays the
+// same draw), places it greedily on the published environment and
+// executes the placement through the backend. Sizes are kept modest —
+// the sample validates calibration, it should not congest the fleet.
+func (s *Server) sampleExecution(ctx context.Context, snap *Snapshot) (backend.Execution, error) {
+	rng := rand.New(rand.NewSource(s.cfg.Seed + snap.Epoch))
+	app, err := workload.Generate(rng, workload.Config{
+		MinTasks: 3, MaxTasks: 4, MeanBytes: 32 * units.Megabyte,
+	})
+	if err != nil {
+		return backend.Execution{}, err
+	}
+	p, err := place.Greedy(app, snap.Env, s.cfg.Model)
+	if err != nil {
+		return backend.Execution{}, err
+	}
+	return s.cfg.Backend.Execute(ctx, s.cfg.Cell, app, snap.Env, p, s.cfg.Model)
 }
 
 // Run re-measures every cfg.Interval until ctx is canceled. A failing

@@ -1,0 +1,232 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file aggregates executed-sweep streams into the paper's §6-style
+// prediction-accuracy view: how far the completion-time model's
+// predictions landed from the wall clock the real transfers delivered.
+// LoadAccuracy consumes the JSONL a `choreo sweep -backend live
+// -execute -out` run streams (grid header, result lines, aggregates
+// footer) and keeps only the rows that carry measured columns.
+
+// AccuracyAlg summarizes one algorithm's prediction error across every
+// executed cell: quantiles of the absolute error (the CDF the paper
+// plots) plus the signed mean, which exposes systematic bias that
+// absolute error alone would hide.
+type AccuracyAlg struct {
+	Algorithm string  `json:"algorithm"`
+	Cells     int     `json:"cells"`
+	AbsP50    float64 `json:"absP50"` // median |error|, percent
+	AbsP90    float64 `json:"absP90"`
+	AbsP99    float64 `json:"absP99"`
+	AbsMax    float64 `json:"absMax"`
+	MeanBias  float64 `json:"meanBias"` // mean signed error, percent
+}
+
+// AccuracyCell is one executed cell's coordinates and outcome, used for
+// the worst-predicted listing.
+type AccuracyCell struct {
+	Topology  string  `json:"topology"`
+	Workload  string  `json:"workload"`
+	Algorithm string  `json:"algorithm"`
+	VMs       int     `json:"vms"`
+	Seed      int64   `json:"seed"`
+	Predicted float64 `json:"predictedSeconds"`
+	Measured  float64 `json:"measuredSeconds"`
+	ErrorPct  float64 `json:"errorPct"`
+}
+
+// CalibrationBand is one row of the calibration table: how many
+// executed cells landed with a predicted/measured ratio inside
+// [Lo, Hi). A calibrated model concentrates mass in the band around 1.
+type CalibrationBand struct {
+	Label string  `json:"label"`
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Cells int     `json:"cells"`
+}
+
+// AccuracyReport is the aggregate of one executed sweep stream.
+type AccuracyReport struct {
+	Grid        GridSummary       `json:"grid"`
+	Executed    int               `json:"executed"` // rows with measured columns
+	Skipped     int               `json:"skipped"`  // rows without (predicted-only or co-located)
+	Algorithms  []AccuracyAlg     `json:"algorithms"`
+	Worst       []AccuracyCell    `json:"worst"`
+	Calibration []CalibrationBand `json:"calibration"`
+}
+
+// worstCells caps the worst-predicted listing.
+const worstCells = 5
+
+// calibrationBands returns the empty table; band edges mirror the
+// choreo_prediction_error_ratio histogram's core buckets.
+func calibrationBands() []CalibrationBand {
+	return []CalibrationBand{
+		{Label: "< 0.5x (badly under)", Lo: 0, Hi: 0.5},
+		{Label: "0.5x - 0.9x (under)", Lo: 0.5, Hi: 0.9},
+		{Label: "0.9x - 1.1x (calibrated)", Lo: 0.9, Hi: 1.1},
+		{Label: "1.1x - 2x (over)", Lo: 1.1, Hi: 2},
+		{Label: ">= 2x (badly over)", Lo: 2, Hi: math.Inf(1)},
+	}
+}
+
+// quantile returns the nearest-rank q-quantile of sorted (ascending) xs.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// LoadAccuracy reads one sweep stream (the JSONL `choreo sweep -out`
+// writes) and aggregates its executed rows. The grid header is required;
+// the aggregates footer is optional (a killed run still reports). An
+// executed stream with zero measured rows is an error — it means the
+// sweep ran predicted-only and there is nothing to validate.
+func LoadAccuracy(r io.Reader) (*AccuracyReport, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	rep := &AccuracyReport{Calibration: calibrationBands()}
+	var sawGrid bool
+	absByAlg := make(map[string][]float64)
+	biasByAlg := make(map[string]float64)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("sweep: accuracy stream line %d: %w", line, err)
+		}
+		if g, ok := probe["grid"]; ok {
+			if err := json.Unmarshal(g, &rep.Grid); err != nil {
+				return nil, fmt.Errorf("sweep: accuracy stream line %d: grid echo: %w", line, err)
+			}
+			sawGrid = true
+			continue
+		}
+		if _, ok := probe["algorithms"]; ok {
+			continue // aggregates footer; everything is recomputed here
+		}
+		var res Result
+		if err := json.Unmarshal(raw, &res); err != nil {
+			return nil, fmt.Errorf("sweep: accuracy stream line %d: %w", line, err)
+		}
+		if res.PredictedSeconds == nil || res.MeasuredSeconds == nil || res.ErrorPct == nil {
+			rep.Skipped++
+			continue
+		}
+		rep.Executed++
+		cell := AccuracyCell{
+			Topology:  res.Topology,
+			Workload:  res.Workload,
+			Algorithm: res.Algorithm,
+			VMs:       res.VMs,
+			Seed:      res.Seed,
+			Predicted: *res.PredictedSeconds,
+			Measured:  *res.MeasuredSeconds,
+			ErrorPct:  *res.ErrorPct,
+		}
+		absByAlg[res.Algorithm] = append(absByAlg[res.Algorithm], math.Abs(cell.ErrorPct))
+		biasByAlg[res.Algorithm] += cell.ErrorPct
+		if cell.Measured > 0 {
+			ratio := cell.Predicted / cell.Measured
+			for i := range rep.Calibration {
+				if ratio >= rep.Calibration[i].Lo && ratio < rep.Calibration[i].Hi {
+					rep.Calibration[i].Cells++
+					break
+				}
+			}
+		}
+		rep.Worst = append(rep.Worst, cell)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: accuracy stream: %w", err)
+	}
+	if !sawGrid {
+		return nil, fmt.Errorf("sweep: accuracy stream has no grid header; is this a `choreo sweep -out` file?")
+	}
+	if rep.Executed == 0 {
+		return nil, fmt.Errorf("sweep: stream has no measured rows; run with -backend live -execute to close the loop")
+	}
+	for alg, abs := range absByAlg {
+		sort.Float64s(abs)
+		rep.Algorithms = append(rep.Algorithms, AccuracyAlg{
+			Algorithm: alg,
+			Cells:     len(abs),
+			AbsP50:    quantile(abs, 0.50),
+			AbsP90:    quantile(abs, 0.90),
+			AbsP99:    quantile(abs, 0.99),
+			AbsMax:    abs[len(abs)-1],
+			MeanBias:  biasByAlg[alg] / float64(len(abs)),
+		})
+	}
+	sort.Slice(rep.Algorithms, func(i, j int) bool {
+		return rep.Algorithms[i].Algorithm < rep.Algorithms[j].Algorithm
+	})
+	sort.Slice(rep.Worst, func(i, j int) bool {
+		ai, aj := math.Abs(rep.Worst[i].ErrorPct), math.Abs(rep.Worst[j].ErrorPct)
+		if ai != aj {
+			return ai > aj
+		}
+		return rep.Worst[i].Seed < rep.Worst[j].Seed
+	})
+	if len(rep.Worst) > worstCells {
+		rep.Worst = rep.Worst[:worstCells]
+	}
+	return rep, nil
+}
+
+// Render formats the report as the terminal accuracy view: per-algorithm
+// error quantiles, the calibration table, and the worst-predicted cells.
+func (r *AccuracyReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accuracy: %d executed cells", r.Executed)
+	if r.Skipped > 0 {
+		fmt.Fprintf(&b, " (%d predicted-only rows skipped)", r.Skipped)
+	}
+	fmt.Fprintf(&b, "\n\nprediction error by algorithm (|error| %% of measured):\n")
+	fmt.Fprintf(&b, "%-14s %5s %9s %9s %9s %9s %10s\n",
+		"algorithm", "n", "p50", "p90", "p99", "max", "mean bias")
+	for _, a := range r.Algorithms {
+		fmt.Fprintf(&b, "%-14s %5d %8.1f%% %8.1f%% %8.1f%% %8.1f%% %+9.1f%%\n",
+			a.Algorithm, a.Cells, a.AbsP50, a.AbsP90, a.AbsP99, a.AbsMax, a.MeanBias)
+	}
+	fmt.Fprintf(&b, "\ncalibration (predicted/measured ratio):\n")
+	for _, band := range r.Calibration {
+		share := 0.0
+		if r.Executed > 0 {
+			share = 100 * float64(band.Cells) / float64(r.Executed)
+		}
+		fmt.Fprintf(&b, "%-26s %5d cells %5.1f%%\n", band.Label, band.Cells, share)
+	}
+	if len(r.Worst) > 0 {
+		fmt.Fprintf(&b, "\nworst-predicted cells:\n")
+		fmt.Fprintf(&b, "%-14s %-12s %-12s %4s %6s %11s %11s %9s\n",
+			"topology", "workload", "algorithm", "vms", "seed", "predicted", "measured", "error")
+		for _, c := range r.Worst {
+			fmt.Fprintf(&b, "%-14s %-12s %-12s %4d %6d %10.3fs %10.3fs %+8.1f%%\n",
+				c.Topology, c.Workload, c.Algorithm, c.VMs, c.Seed, c.Predicted, c.Measured, c.ErrorPct)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadAccuracyAggregates(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"grid":{"mode":"snapshot","scenarios":5,"backend":"live","execute":true}}`,
+		// choreo: errors +10%, -20%, +50% (abs 10, 20, 50)
+		`{"topology":"ec2-2013","workload":"shuffle","algorithm":"choreo","seed":1,"vms":3,"meanBytes":1,"tasks":3,"completionSeconds":1,"predictedSeconds":1.1,"measuredSeconds":1,"errorPct":10}`,
+		`{"topology":"ec2-2013","workload":"shuffle","algorithm":"choreo","seed":2,"vms":3,"meanBytes":1,"tasks":3,"completionSeconds":1,"predictedSeconds":0.8,"measuredSeconds":1,"errorPct":-20}`,
+		`{"topology":"ec2-2013","workload":"shuffle","algorithm":"choreo","seed":3,"vms":3,"meanBytes":1,"tasks":3,"completionSeconds":1,"predictedSeconds":1.5,"measuredSeconds":1,"errorPct":50}`,
+		// random: one executed row, +5%
+		`{"topology":"ec2-2013","workload":"shuffle","algorithm":"random","seed":1,"vms":3,"meanBytes":1,"tasks":3,"completionSeconds":2,"predictedSeconds":2.1,"measuredSeconds":2,"errorPct":5}`,
+		// a co-located predicted-only row: skipped, not an error
+		`{"topology":"ec2-2013","workload":"shuffle","algorithm":"random","seed":2,"vms":3,"meanBytes":1,"tasks":3,"completionSeconds":1.5}`,
+		`{"algorithms":[]}`,
+	}, "\n") + "\n"
+
+	rep, err := LoadAccuracy(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executed != 4 || rep.Skipped != 1 {
+		t.Fatalf("executed/skipped = %d/%d, want 4/1", rep.Executed, rep.Skipped)
+	}
+	if !rep.Grid.Execute || rep.Grid.Backend != "live" {
+		t.Errorf("grid echo not preserved: %+v", rep.Grid)
+	}
+	if len(rep.Algorithms) != 2 {
+		t.Fatalf("algorithms = %+v, want choreo and random", rep.Algorithms)
+	}
+	ch := rep.Algorithms[0]
+	if ch.Algorithm != "choreo" || ch.Cells != 3 {
+		t.Fatalf("first summary = %+v, want choreo with 3 cells", ch)
+	}
+	if ch.AbsP50 != 20 || ch.AbsMax != 50 {
+		t.Errorf("choreo |error| p50/max = %v/%v, want 20/50", ch.AbsP50, ch.AbsMax)
+	}
+	wantBias := (10.0 - 20.0 + 50.0) / 3
+	if diff := ch.MeanBias - wantBias; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("choreo mean bias = %v, want %v", ch.MeanBias, wantBias)
+	}
+	// Worst-predicted is sorted by |error|: choreo +50, choreo -20, ...
+	if rep.Worst[0].ErrorPct != 50 || rep.Worst[1].ErrorPct != -20 {
+		t.Errorf("worst ordering = %+v", rep.Worst)
+	}
+	// Calibration: ratios 1.1, 0.8, 1.5, 1.05 — one per band around 1.
+	var calibrated, under, over int
+	for _, band := range rep.Calibration {
+		switch band.Label {
+		case "0.9x - 1.1x (calibrated)":
+			calibrated = band.Cells
+		case "0.5x - 0.9x (under)":
+			under = band.Cells
+		case "1.1x - 2x (over)":
+			over = band.Cells
+		}
+	}
+	// 1.1 lands in [1.1, 2): bands are half-open on the left edge.
+	if calibrated != 1 || under != 1 || over != 2 {
+		t.Errorf("calibration = %d calibrated / %d under / %d over, want 1/1/2: %+v",
+			calibrated, under, over, rep.Calibration)
+	}
+	for _, want := range []string{"4 executed cells", "1 predicted-only rows skipped", "choreo", "worst-predicted cells"} {
+		if out := rep.Render(); !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadAccuracyRejects(t *testing.T) {
+	// No grid header.
+	if _, err := LoadAccuracy(strings.NewReader(`{"algorithms":[]}` + "\n")); err == nil || !strings.Contains(err.Error(), "no grid header") {
+		t.Errorf("headerless stream error = %v", err)
+	}
+	// Grid but zero measured rows: predicted-only run, nothing to validate.
+	stream := `{"grid":{"backend":"live"}}` + "\n" +
+		`{"topology":"t","workload":"w","algorithm":"a","seed":1,"vms":2,"meanBytes":1,"tasks":2,"completionSeconds":1}` + "\n"
+	if _, err := LoadAccuracy(strings.NewReader(stream)); err == nil || !strings.Contains(err.Error(), "no measured rows") {
+		t.Errorf("predicted-only stream error = %v", err)
+	}
+	// Malformed line is a line-precise error.
+	if _, err := LoadAccuracy(strings.NewReader("{\"grid\":{}}\nnot json\n")); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("malformed line error = %v", err)
+	}
+}

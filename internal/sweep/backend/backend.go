@@ -17,8 +17,16 @@
 //     RTT probes over real sockets), and assembles the placement
 //     environment from the observed rate matrix. Execution reports the
 //     paper's predicted completion-time objective on that measured
-//     environment — a live cloud has no replayable ground truth to
-//     simulate against.
+//     environment by default; with LiveConfig.Execute set it closes the
+//     loop (§6) — the placement's inter-machine flows run as real
+//     byte-bounded bulk transfers over the agent fleet, and the measured
+//     completion is reported next to the prediction so every run is an
+//     accuracy benchmark of the model itself.
+//
+// Executed completions come back as an Execution value: the headline
+// Completion plus, when the backend really ran the flows, the predicted
+// and measured times and the per-pair flow outcomes that feed the
+// accuracy plane in internal/obs.
 //
 // Both implementations feed the identical place.Environment shape into
 // the identical placement and report pipeline, so a simulated and a
@@ -33,6 +41,7 @@ import (
 	"choreo/internal/place"
 	"choreo/internal/profile"
 	"choreo/internal/topology"
+	"choreo/internal/units"
 )
 
 // Cell names the measurement target of one sweep cell: the grid's
@@ -50,6 +59,42 @@ type Cell struct {
 	VMs int
 	// Seed is the deterministic cell seed (sweep.Scenario.cloudSeed).
 	Seed int64
+}
+
+// PairFlow is one aggregated inter-machine flow of an executed
+// placement: every byte the traffic matrix moves between two distinct
+// machines, with the rate the environment predicted for that pair and
+// (after execution) the rate the transfer actually achieved.
+type PairFlow struct {
+	// Src and Dst are machine slot indices into the cell's environment.
+	Src, Dst int
+	// Bytes is the aggregated payload the placement moves Src→Dst.
+	Bytes units.ByteSize
+	// PredictedRate is env.Rates[Src][Dst] — what the objective assumed.
+	PredictedRate units.Rate
+	// MeasuredRate is the achieved bulk-transfer rate; zero until the
+	// flow has executed.
+	MeasuredRate units.Rate
+}
+
+// Execution is the result of Backend.Execute. Completion is always set:
+// the simulated transfer time (sim), the predicted objective (live), or
+// the measured wall clock (live executed). Executed marks results whose
+// Predicted/Measured/Pairs fields carry a real measured-vs-predicted
+// observation; predicted-only and simulated paths leave them zero so
+// report rows and goldens are byte-identical with the pre-execution
+// schema.
+type Execution struct {
+	// Completion is the headline per-app completion time.
+	Completion time.Duration
+	// Predicted is the completion the objective computed before running.
+	Predicted time.Duration
+	// Measured is the wall clock of the placement's concurrent flows.
+	Measured time.Duration
+	// Executed reports whether real transfers ran.
+	Executed bool
+	// Pairs are the per-machine-pair flow outcomes, sorted (Src, Dst).
+	Pairs []PairFlow
 }
 
 // Backend measures a cell's cloud and executes placements on it.
@@ -72,11 +117,19 @@ type Backend interface {
 	// live mesh mid-pair.
 	Measure(ctx context.Context, c Cell) (*place.Environment, error)
 
-	// Execute returns the completion time of placement p of app on the
+	// Execute returns the completion of placement p of app on the
 	// cell's cloud under env: simulated byte transfer for sim (§6.1's
 	// "actually transferring data"), the predicted completion-time
-	// objective for live. model is the grid's rate model.
-	Execute(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error)
+	// objective for live, or — when the live backend is configured to
+	// execute — the measured wall clock of the placement's flows run as
+	// real bulk transfers, with the prediction alongside. model is the
+	// grid's rate model.
+	Execute(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (Execution, error)
+
+	// Executes reports whether Execute runs placements as real
+	// transfers (and therefore returns Executed results). Grid echoes
+	// record it so executed and predicted-only runs never merge.
+	Executes() bool
 
 	// MeshEpoch tags the backend's current measurement epoch. Sim
 	// measurements are pure functions of the cell and always report 0;

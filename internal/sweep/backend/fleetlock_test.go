@@ -1,0 +1,95 @@
+package backend
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFleetLockDisjointProceeds pins the property executed placements
+// rely on: two acquisitions over non-overlapping agent subsets hold the
+// lock simultaneously — the serialized-mesh constraint lifts when the
+// subsets don't share a socket.
+func TestFleetLockDisjointProceeds(t *testing.T) {
+	var fl fleetLock
+	fl.init()
+	fl.acquire([]string{"a:1", "b:1"})
+	done := make(chan struct{})
+	go func() {
+		fl.acquire([]string{"c:1", "d:1"})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("disjoint acquire blocked behind an unrelated subset")
+	}
+	fl.release([]string{"a:1", "b:1"})
+	fl.release([]string{"c:1", "d:1"})
+}
+
+// TestFleetLockOverlapBlocks pins the converse: any shared agent
+// serializes the two holders, and release wakes the waiter.
+func TestFleetLockOverlapBlocks(t *testing.T) {
+	var fl fleetLock
+	fl.init()
+	fl.acquire([]string{"a:1", "b:1"})
+	acquired := make(chan struct{})
+	go func() {
+		fl.acquire([]string{"b:1", "c:1"}) // shares b:1
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("overlapping acquire proceeded while the shared agent was busy")
+	case <-time.After(50 * time.Millisecond):
+	}
+	fl.release([]string{"a:1", "b:1"})
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("release did not wake the overlapping waiter")
+	}
+	fl.release([]string{"b:1", "c:1"})
+}
+
+// TestFleetLockAllOrNothing pins atomicity: a waiter needing {a, c}
+// while {a} and {c} are held by different owners must not grab c early
+// (partial acquisition would deadlock against the other owner's next
+// acquire).
+func TestFleetLockAllOrNothing(t *testing.T) {
+	var fl fleetLock
+	fl.init()
+	fl.acquire([]string{"a:1"})
+	fl.acquire([]string{"c:1"})
+	acquired := make(chan struct{})
+	go func() {
+		fl.acquire([]string{"a:1", "c:1"})
+		close(acquired)
+	}()
+	fl.release([]string{"a:1"})
+	select {
+	case <-acquired:
+		t.Fatal("acquire proceeded with only half its subset free")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// a:1 must still be free for others while the waiter waits on c:1 —
+	// a partial holder would block this and deadlock real sweeps.
+	free := make(chan struct{})
+	go func() {
+		fl.acquire([]string{"a:1"})
+		fl.release([]string{"a:1"})
+		close(free)
+	}()
+	select {
+	case <-free:
+	case <-time.After(5 * time.Second):
+		t.Fatal("a:1 not acquirable while the combined waiter waits on c:1")
+	}
+	fl.release([]string{"c:1"})
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("combined waiter wedged after its whole subset freed")
+	}
+	fl.release([]string{"a:1", "c:1"})
+}

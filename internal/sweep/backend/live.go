@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"choreo/internal/cluster"
@@ -36,8 +35,14 @@ type LiveConfig struct {
 	Epoch int64
 	// Obs, when non-nil, instruments every mesh the backend runs:
 	// per-pair/RTT histograms and per-agent failure counters in its
-	// registry, mesh/pair spans in its tracer.
+	// registry, mesh/pair spans in its tracer. Executed placements add
+	// exec.placement/exec.transfer spans and per-pair rate-error gauges.
 	Obs *obs.Observer
+	// Execute switches Execute from reporting the predicted
+	// completion-time objective to running the placement's inter-machine
+	// flows as real byte-bounded bulk transfers over the fleet and
+	// reporting the measured wall clock next to the prediction.
+	Execute bool
 }
 
 // Live measures cells against a real choreo-agent fleet: each cell's VM
@@ -50,13 +55,17 @@ type LiveConfig struct {
 // what Choreo's placement minimizes.
 type Live struct {
 	cfg LiveConfig
-	// mu serializes mesh measurements: the sweep worker pool builds
-	// cells concurrently, but overlapping packet trains through the same
-	// agent NICs would see each other as cross traffic and corrupt both
-	// estimates. Trains run one at a time within a mesh by design (§3.1);
-	// this keeps that true across cells too. (Concurrent measurement over
-	// disjoint agent subsets is a ROADMAP rung.)
-	mu sync.Mutex
+	// fleet serializes traffic per agent, not per backend: the sweep
+	// worker pool builds cells concurrently, but overlapping packet
+	// trains (or executed bulk flows) through the same agent NICs would
+	// see each other as cross traffic and corrupt both observations.
+	// Trains run one at a time within a mesh by design (§3.1); the
+	// address-set lock keeps that true across cells while letting cells
+	// whose agent subsets are disjoint measure and execute concurrently.
+	fleet fleetLock
+	// acc records per-pair rate-error gauges for executed flows into the
+	// observer's registry (nil-safe when uninstrumented).
+	acc *obs.Accuracy
 }
 
 // NewLive validates the fleet and returns a live backend.
@@ -92,8 +101,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if cfg.Epoch == 0 {
 		cfg.Epoch = 1
 	}
-	l := &Live{cfg: cfg}
+	l := &Live{cfg: cfg, acc: obs.NewAccuracy(cfg.Obs.Registry())}
 	l.cfg.Agents = append([]string(nil), cfg.Agents...)
+	l.fleet.init()
 	return l, nil
 }
 
@@ -138,9 +148,9 @@ func (l *Live) Measure(ctx context.Context, c Cell) (*place.Environment, error) 
 		return nil, err
 	}
 	coord := cluster.NewCoordinator(addrs, l.cfg.Timeout).Instrument(l.cfg.Obs)
-	l.mu.Lock()
+	l.fleet.acquire(addrs)
 	mesh, err := coord.MeasureMesh(ctx, l.cfg.Train)
-	l.mu.Unlock()
+	l.fleet.release(addrs)
 	if err != nil {
 		return nil, fmt.Errorf("backend: live mesh for cell %s/%d VMs seed %d: %w", c.Topology, c.VMs, c.Seed, err)
 	}
@@ -167,9 +177,24 @@ func (l *Live) Measure(ctx context.Context, c Cell) (*place.Environment, error) 
 	return env, nil
 }
 
-// Execute evaluates the placement against the live measurement: the
-// predicted completion time of app under p on env — the Appendix
-// objective the greedy algorithm and the exact optimum both minimize.
-func (l *Live) Execute(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error) {
-	return place.CompletionTime(app, env, p, model)
+// Executes reports whether this backend runs placements as real
+// transfers (LiveConfig.Execute).
+func (l *Live) Executes() bool { return l.cfg.Execute }
+
+// Execute evaluates the placement against the live measurement. By
+// default it returns the predicted completion time of app under p on
+// env — the Appendix objective the greedy algorithm and the exact
+// optimum both minimize. With LiveConfig.Execute set it then runs the
+// placement's inter-machine flows as concurrent byte-bounded bulk
+// transfers over the cell's agent subset and reports the measured wall
+// clock next to that prediction.
+func (l *Live) Execute(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (Execution, error) {
+	predicted, err := place.CompletionTime(app, env, p, model)
+	if err != nil {
+		return Execution{}, err
+	}
+	if !l.cfg.Execute {
+		return Execution{Completion: predicted}, nil
+	}
+	return l.executePlacement(ctx, c, app, env, p, predicted)
 }

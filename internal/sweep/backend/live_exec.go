@@ -1,0 +1,142 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"choreo/internal/cluster"
+	"choreo/internal/obs"
+	"choreo/internal/place"
+	"choreo/internal/profile"
+	"choreo/internal/units"
+)
+
+// pairFlows aggregates the placement's traffic matrix into one flow per
+// ordered machine pair: every byte two co-located tasks exchange stays
+// on the machine (the paper models the memory bus as effectively
+// infinite), everything else becomes a real transfer. Flows come back
+// sorted by (src, dst) so execution order — and therefore span and
+// error order — is deterministic.
+func pairFlows(app *profile.Application, env *place.Environment, p place.Placement) []PairFlow {
+	bytes := make(map[[2]int]units.ByteSize)
+	for _, tr := range app.TM.Transfers() {
+		src, dst := p.MachineOf[tr.From], p.MachineOf[tr.To]
+		if src == dst {
+			continue
+		}
+		bytes[[2]int{src, dst}] += tr.Bytes
+	}
+	flows := make([]PairFlow, 0, len(bytes))
+	for pair, b := range bytes {
+		flows = append(flows, PairFlow{
+			Src:           pair[0],
+			Dst:           pair[1],
+			Bytes:         b,
+			PredictedRate: env.Rates[pair[0]][pair[1]],
+		})
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Src != flows[j].Src {
+			return flows[i].Src < flows[j].Src
+		}
+		return flows[i].Dst < flows[j].Dst
+	})
+	return flows
+}
+
+// execCtx parents children under span when tracing is on; otherwise the
+// context passes through untouched.
+func execCtx(ctx context.Context, s obs.Span) context.Context {
+	if s.ID() == 0 {
+		return ctx
+	}
+	return obs.ContextWithSpan(ctx, s)
+}
+
+// executePlacement runs the placement's inter-machine flows as
+// concurrent byte-bounded bulk transfers over the cell's agent subset
+// and measures the wall clock from first byte scheduled to last flow
+// drained — the live analogue of the simulator's "transfer until the
+// last byte lands". The whole placement runs under one exec.placement
+// span with one exec.transfer span per flow, and every flow feeds the
+// per-pair rate-error gauges.
+func (l *Live) executePlacement(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, predicted time.Duration) (Execution, error) {
+	flows := pairFlows(app, env, p)
+	if len(flows) == 0 {
+		// Fully co-located placement: nothing crosses the network, so
+		// there is no transfer to measure and the prediction stands.
+		return Execution{Completion: predicted}, nil
+	}
+	addrs, err := l.slots(c)
+	if err != nil {
+		return Execution{}, err
+	}
+	var total units.ByteSize
+	for _, f := range flows {
+		total += f.Bytes
+	}
+	coord := cluster.NewCoordinator(addrs, l.cfg.Timeout).Instrument(l.cfg.Obs)
+	// Worst case every flow serializes behind a shared bottleneck, so
+	// the per-flow budget scales the prediction by the flow count before
+	// adding the control-protocol allowance.
+	budget := predicted*time.Duration(len(flows)) + l.cfg.Timeout
+
+	l.fleet.acquire(addrs)
+	defer l.fleet.release(addrs)
+
+	span := l.cfg.Obs.StartSpan(obs.SpanFromContext(ctx), "exec.placement",
+		obs.String("topology", c.Topology),
+		obs.Int("vms", int64(c.VMs)),
+		obs.Int("seed", c.Seed),
+		obs.Int("flows", int64(len(flows))),
+		obs.Int("bytes", int64(total)),
+		obs.Int("predictedNs", predicted.Nanoseconds()))
+	ctx = execCtx(ctx, span)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(flows))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range flows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := &flows[i]
+			tspan := l.cfg.Obs.StartSpan(span, "exec.transfer",
+				obs.String("src", addrs[f.Src]),
+				obs.String("dst", addrs[f.Dst]),
+				obs.Int("bytes", int64(f.Bytes)))
+			rate, _, err := coord.BulkTransfer(execCtx(runCtx, tspan), f.Src, f.Dst, f.Bytes, budget)
+			if err != nil {
+				errs[i] = err
+				tspan.End(obs.String("outcome", "error"))
+				cancel() // abandon sibling flows promptly
+				return
+			}
+			f.MeasuredRate = rate
+			tspan.End(obs.String("outcome", "ok"), obs.Int("rateBits", int64(rate)))
+			l.acc.RecordPairRate(addrs[f.Src], addrs[f.Dst], float64(f.PredictedRate), float64(rate))
+		}(i)
+	}
+	wg.Wait()
+	measured := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			span.End(obs.String("outcome", "error"))
+			return Execution{}, fmt.Errorf("backend: executing cell %s/%d VMs seed %d flow %d→%d: %w",
+				c.Topology, c.VMs, c.Seed, flows[i].Src, flows[i].Dst, err)
+		}
+	}
+	span.End(obs.String("outcome", "ok"), obs.Int("measuredNs", measured.Nanoseconds()))
+	return Execution{
+		Completion: measured,
+		Predicted:  predicted,
+		Measured:   measured,
+		Executed:   true,
+		Pairs:      flows,
+	}, nil
+}

@@ -1,0 +1,196 @@
+package backend_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"choreo/internal/obs"
+	"choreo/internal/place"
+	"choreo/internal/profile"
+	"choreo/internal/sweep/backend"
+	"choreo/internal/sweep/backend/livetest"
+	"choreo/internal/units"
+)
+
+// executedLive builds a live backend with execution on and a private
+// metrics registry, so tests can assert both the Execution result and
+// the telemetry it must leave behind.
+func executedLive(t *testing.T, mesh *livetest.Mesh, timeout time.Duration) (*backend.Live, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	live, err := backend.NewLive(backend.LiveConfig{
+		Agents:  mesh.Addrs(),
+		Timeout: timeout,
+		Train:   livetest.QuickTrain(),
+		Execute: true,
+		Obs:     &obs.Observer{Metrics: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return live, reg
+}
+
+// pairApp is a two-task application with one 4 MB transfer 0 -> 1.
+func pairApp(t *testing.T) *profile.Application {
+	t.Helper()
+	tm := profile.NewTrafficMatrix(2)
+	if err := tm.Add(0, 1, 4*units.Megabyte); err != nil {
+		t.Fatal(err)
+	}
+	return &profile.Application{Name: "pair", CPU: []float64{1, 1}, TM: tm}
+}
+
+// pairEnv predicts 1 Gbit/s between the two machines.
+func pairEnv() *place.Environment {
+	return &place.Environment{
+		Rates: [][]units.Rate{
+			{units.Gbps(4), units.Gbps(1)},
+			{units.Gbps(1), units.Gbps(4)},
+		},
+		CPUCap: []float64{4, 4},
+	}
+}
+
+func promText(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestLiveExecuteRunsTransfers closes the loop on a loopback mesh: the
+// placement's one inter-machine flow runs as a real byte-bounded bulk
+// transfer, and the Execution carries measured wall-clock next to the
+// prediction plus per-flow measured rates, with the per-pair rate-error
+// gauge recorded.
+func TestLiveExecuteRunsTransfers(t *testing.T) {
+	mesh, err := livetest.Start(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	live, reg := executedLive(t, mesh, 10*time.Second)
+	cell := backend.Cell{Topology: "live-test", VMs: 2, Seed: 1}
+	exec, err := live.Execute(context.Background(), cell, pairApp(t), pairEnv(),
+		place.Placement{MachineOf: []int{0, 1}}, place.Hose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Executed {
+		t.Fatal("Execute with cfg.Execute did not execute")
+	}
+	// 4 MB at a predicted 1 Gbit/s = 32 ms.
+	want := 32 * time.Millisecond
+	if exec.Predicted < want-time.Millisecond || exec.Predicted > want+time.Millisecond {
+		t.Errorf("Predicted = %v, want ~%v", exec.Predicted, want)
+	}
+	if exec.Measured <= 0 {
+		t.Errorf("Measured = %v, want > 0", exec.Measured)
+	}
+	if exec.Completion != exec.Measured {
+		t.Errorf("executed Completion %v != Measured %v: executed rows must report the wall clock", exec.Completion, exec.Measured)
+	}
+	if len(exec.Pairs) != 1 {
+		t.Fatalf("Pairs = %+v, want exactly the 0->1 flow", exec.Pairs)
+	}
+	f := exec.Pairs[0]
+	if f.Src != 0 || f.Dst != 1 || f.Bytes != 4*units.Megabyte {
+		t.Errorf("flow = %+v, want 4 MB 0->1", f)
+	}
+	if f.MeasuredRate <= 0 {
+		t.Errorf("MeasuredRate = %v, want > 0", f.MeasuredRate)
+	}
+	if out := promText(t, reg); !strings.Contains(out, "choreo_pair_rate_error_ratio{") {
+		t.Errorf("executed flow left no pair rate-error gauge:\n%s", out)
+	}
+}
+
+// TestLiveExecuteColocated pins the honest no-op: a fully co-located
+// placement crosses no network, so nothing executes and the prediction
+// stands un-validated.
+func TestLiveExecuteColocated(t *testing.T) {
+	mesh, err := livetest.Start(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	live, _ := executedLive(t, mesh, 5*time.Second)
+	cell := backend.Cell{Topology: "live-test", VMs: 2, Seed: 1}
+	exec, err := live.Execute(context.Background(), cell, pairApp(t), pairEnv(),
+		place.Placement{MachineOf: []int{0, 0}}, place.Hose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Executed {
+		t.Error("co-located placement reported Executed; there was no transfer to measure")
+	}
+	if exec.Completion <= 0 {
+		t.Errorf("Completion = %v, want the positive predicted objective", exec.Completion)
+	}
+}
+
+// TestLiveExecuteAgentDeath kills the receiving agent before the
+// transfer: Execute must fail with the flow named, and the failure must
+// land in choreo_cluster_failures_total rather than wedge.
+func TestLiveExecuteAgentDeath(t *testing.T) {
+	mesh, err := livetest.Start(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	live, reg := executedLive(t, mesh, 2*time.Second)
+	if err := mesh.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	cell := backend.Cell{Topology: "live-test", VMs: 2, Seed: 1}
+	_, err = live.Execute(context.Background(), cell, pairApp(t), pairEnv(),
+		place.Placement{MachineOf: []int{0, 1}}, place.Hose)
+	if err == nil {
+		t.Fatal("Execute against a dead agent succeeded")
+	}
+	if !strings.Contains(err.Error(), "flow 0→1") {
+		t.Errorf("error %v does not name the failed flow", err)
+	}
+	if out := promText(t, reg); !strings.Contains(out, "choreo_cluster_failures_total{") {
+		t.Errorf("agent death left no failure counter:\n%s", out)
+	}
+}
+
+// TestLiveExecuteDeadline pins cancellation: an already-expired context
+// fails the execution promptly with a deadline-classified failure
+// counter, never a hang.
+func TestLiveExecuteDeadline(t *testing.T) {
+	mesh, err := livetest.Start(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	live, reg := executedLive(t, mesh, 2*time.Second)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	cell := backend.Cell{Topology: "live-test", VMs: 2, Seed: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := live.Execute(ctx, cell, pairApp(t), pairEnv(),
+			place.Placement{MachineOf: []int{0, 1}}, place.Hose)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Execute under an expired deadline succeeded")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Execute under an expired deadline wedged")
+	}
+	// An expired context classifies as "canceled" — the context died, as
+	// opposed to "deadline", which means the agent went silent.
+	if out := promText(t, reg); !strings.Contains(out, `cause="canceled"`) {
+		t.Errorf("expired deadline not classified in failure counters:\n%s", out)
+	}
+}

@@ -80,15 +80,18 @@ func TestLiveExecutePredictsCompletion(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := &profile.Application{Name: "pair", CPU: []float64{1, 1}, TM: tm}
-	d, err := live.Execute(context.Background(), cell, app, env, place.Placement{MachineOf: []int{0, 1}}, place.Hose)
+	exec, err := live.Execute(context.Background(), cell, app, env, place.Placement{MachineOf: []int{0, 1}}, place.Hose)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if exec.Executed {
+		t.Error("Execute without cfg.Execute reported Executed")
+	}
 	// 100 MB over 100 Mbit/s = 8 seconds: Execute must report the
-	// predicted objective on the measured rates, not simulate anything.
+	// predicted objective on the measured rates, not run anything.
 	want := 8 * time.Second
-	if d < want-time.Millisecond || d > want+time.Millisecond {
-		t.Errorf("predicted completion = %v, want ~%v", d, want)
+	if exec.Completion < want-time.Millisecond || exec.Completion > want+time.Millisecond {
+		t.Errorf("predicted completion = %v, want ~%v", exec.Completion, want)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"time"
 
 	"choreo/internal/core"
 	"choreo/internal/netsim"
@@ -37,6 +36,10 @@ func (s *Sim) MeshEpoch() int64 { return 0 }
 // from Measure with the cell's coordinates attached.
 func (s *Sim) CheckCapacity(ctx context.Context, maxVMs int) error { return nil }
 
+// Executes is false: the simulator's transfer IS the ground truth, so
+// there is no separate measured-vs-predicted observation to make.
+func (s *Sim) Executes() bool { return false }
+
 // orchestrator rebuilds the cell's simulated cloud: provider fabric, VM
 // allocation and orchestrator, all derived from the cell seed exactly as
 // the sweep engine always has (provider from seed, orchestrator rng from
@@ -66,10 +69,14 @@ func (s *Sim) Measure(ctx context.Context, c Cell) (*place.Environment, error) {
 // Execute runs the placement on a freshly rebuilt cloud — one flow per
 // task-pair transfer, simulated until the last byte drains. env and
 // model are unused: the simulator is its own ground truth.
-func (s *Sim) Execute(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (time.Duration, error) {
+func (s *Sim) Execute(ctx context.Context, c Cell, app *profile.Application, env *place.Environment, p place.Placement, model place.Model) (Execution, error) {
 	orch, err := s.orchestrator(c)
 	if err != nil {
-		return 0, err
+		return Execution{}, err
 	}
-	return orch.Execute(app, p)
+	d, err := orch.Execute(app, p)
+	if err != nil {
+		return Execution{}, err
+	}
+	return Execution{Completion: d}, nil
 }

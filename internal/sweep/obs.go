@@ -26,6 +26,7 @@ type runObs struct {
 	reorderDepth *obs.Gauge        // choreo_sweep_reorder_depth
 	workersGauge *obs.Gauge        // choreo_sweep_workers
 	utilization  *obs.Gauge        // choreo_sweep_worker_utilization
+	acc          *obs.Accuracy     // choreo_prediction_* (executed cells)
 
 	busyNs atomic.Int64 // total cell wall-clock, for utilization
 }
@@ -45,6 +46,7 @@ func newRunObs(o *obs.Observer) *runObs {
 			"Worker pool size of the current sweep run."),
 		utilization: r.Gauge("choreo_sweep_worker_utilization",
 			"Fraction of worker wall-clock spent inside cells over the last run."),
+		acc: obs.NewAccuracy(r),
 	}
 }
 
@@ -117,6 +119,15 @@ func (ro *runObs) cellDone(d time.Duration) {
 	}
 	ro.cellSeconds.Observe(d.Seconds())
 	ro.busyNs.Add(d.Nanoseconds())
+}
+
+// recordAccuracy folds one executed cell's predicted and measured
+// completion (seconds) into the accuracy plane.
+func (ro *runObs) recordAccuracy(algorithm, topology string, predicted, measured float64) {
+	if ro == nil {
+		return
+	}
+	ro.acc.RecordExecution(algorithm, topology, predicted, measured)
 }
 
 // depth records the reorder buffer's occupancy after a delivery.

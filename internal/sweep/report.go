@@ -22,6 +22,12 @@ type Aggregate struct {
 	// Slowdown summarizes slowdown vs the exact optimum, over the
 	// scenarios where the optimum was computable (nil when none were).
 	Slowdown *stats.Summary `json:"slowdown,omitempty"`
+	// PredictionError summarizes signed prediction error in percent —
+	// 100 × (predicted − measured) / measured — over the scenarios that
+	// executed their placement as real transfers (nil when none did, so
+	// sim and predicted-only aggregates are byte-identical to the
+	// pre-execution schema).
+	PredictionError *stats.Summary `json:"predictionErrorPct,omitempty"`
 	// Migrations summarizes per-scenario migration counts; present only
 	// for sequence cells (snapshot aggregates are byte-identical to what
 	// they were before sequence mode existed).
@@ -75,7 +81,12 @@ type GridSummary struct {
 	// and golden reports) are unchanged. Because resume and merge
 	// compare echoes verbatim, a sim report can never be completed by —
 	// or spliced with — a live one.
-	Backend    string   `json:"backend,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	// Execute marks grids whose placements ran as real transfers
+	// (measured completions). Part of the echo — and hence the grid
+	// hash — so an executed run is never resumed by, or spliced with, a
+	// predicted-only one.
+	Execute    bool     `json:"execute,omitempty"`
 	Topologies []string `json:"topologies"`
 	Workloads  []string `json:"workloads"`
 	Algorithms []string `json:"algorithms"`
@@ -141,6 +152,7 @@ func (g *Grid) summary(scenarios int) GridSummary {
 	sum.Algorithms = g.algorithmNames()
 	if name := g.backendName(); name != "sim" {
 		sum.Backend = name
+		sum.Execute = g.backend().Executes()
 	}
 	if g.Mode == Sequence {
 		sum.Mode = Sequence.String()
@@ -171,6 +183,7 @@ type Aggregator struct {
 	slowdowns   map[string][]float64
 	latencies   map[string][]float64
 	migrations  map[string][]float64
+	errorPcts   map[string][]float64
 }
 
 // NewAggregator aggregates over the given algorithm names in that
@@ -184,6 +197,7 @@ func NewAggregator(algorithms []string, timing bool) *Aggregator {
 		slowdowns:   make(map[string][]float64),
 		latencies:   make(map[string][]float64),
 		migrations:  make(map[string][]float64),
+		errorPcts:   make(map[string][]float64),
 	}
 }
 
@@ -196,6 +210,9 @@ func (a *Aggregator) Add(r Result) {
 	a.latencies[r.Algorithm] = append(a.latencies[r.Algorithm], r.PlaceLatency.Seconds())
 	if r.Slowdown != nil {
 		a.slowdowns[r.Algorithm] = append(a.slowdowns[r.Algorithm], *r.Slowdown)
+	}
+	if r.ErrorPct != nil {
+		a.errorPcts[r.Algorithm] = append(a.errorPcts[r.Algorithm], *r.ErrorPct)
 	}
 	if r.SeqApps > 0 {
 		a.migrations[r.Algorithm] = append(a.migrations[r.Algorithm], float64(r.Migrations))
@@ -225,6 +242,13 @@ func (a *Aggregator) Aggregates() ([]Aggregate, error) {
 			}
 			agg.Slowdown = &s
 		}
+		if errorPcts := a.errorPcts[name]; len(errorPcts) > 0 {
+			s, err := stats.Summarize(errorPcts)
+			if err != nil {
+				return nil, err
+			}
+			agg.PredictionError = &s
+		}
 		if migrations := a.migrations[name]; len(migrations) > 0 {
 			s, err := stats.Summarize(migrations)
 			if err != nil {
@@ -253,9 +277,12 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // WriteCSV writes one deterministic row per scenario. Sequence reports
 // swap the snapshot-only optimal/slowdown columns for the sequence
 // coordinates and migration count (the completion column then carries
-// the §6.3 total running time).
+// the §6.3 total running time). Executed grids append the
+// measured-vs-predicted columns; everything else keeps the exact
+// pre-execution column set.
 func (r *Report) WriteCSV(w io.Writer) error {
 	sequence := r.Grid.Mode == Sequence.String()
+	executed := r.Grid.Execute
 	cw := csv.NewWriter(w)
 	header := []string{
 		"topology", "workload", "algorithm", "seed", "vms", "mean_bytes", "tasks",
@@ -267,6 +294,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			"interarrival_seconds", "seq_apps", "reeval_seconds", "tasks",
 			"total_running_seconds", "migrations",
 		}
+	}
+	if executed {
+		header = append(header, "predicted_s", "measured_s", "error_pct")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -293,6 +323,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		} else {
 			row = append(row,
 				strconv.Itoa(s.Tasks), f(s.CompletionSeconds), fp(s.OptimalSeconds), fp(s.Slowdown))
+		}
+		if executed {
+			row = append(row, fp(s.PredictedSeconds), fp(s.MeasuredSeconds), fp(s.ErrorPct))
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -338,6 +371,24 @@ func renderSummary(grid GridSummary, algorithms []Aggregate) string {
 		grid.Scenarios, len(grid.Topologies), len(grid.Workloads),
 		len(grid.VMCounts), len(grid.MeanBytes),
 		len(grid.Algorithms), len(grid.Seeds))
+	if grid.Execute {
+		fmt.Fprintf(&b, "%-14s %5s %14s %14s %12s %12s %14s\n",
+			"algorithm", "n", "mean compl", "p95 compl", "mean slow", "mean err", "mean place")
+		for _, a := range algorithms {
+			slow := "-"
+			if a.Slowdown != nil {
+				slow = fmt.Sprintf("%.3fx", a.Slowdown.Mean)
+			}
+			errPct := "-"
+			if a.PredictionError != nil {
+				errPct = fmt.Sprintf("%+.1f%%", a.PredictionError.Mean)
+			}
+			fmt.Fprintf(&b, "%-14s %5d %13.2fs %13.2fs %12s %12s %13.2fms\n",
+				a.Algorithm, a.Scenarios, a.Completion.Mean, a.Completion.P95,
+				slow, errPct, a.latency.Mean*1e3)
+		}
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%-14s %5s %14s %14s %12s %14s\n",
 		"algorithm", "n", "mean compl", "p95 compl", "mean slow", "mean place")
 	for _, a := range algorithms {

@@ -66,6 +66,15 @@ type Result struct {
 	// when no finite ratio exists: no reference was computed, or the
 	// reference is 0 s and the scenario's completion is not.
 	Slowdown *float64 `json:"slowdown,omitempty"`
+	// PredictedSeconds and MeasuredSeconds record an executed scenario's
+	// predicted completion next to the wall clock its flows took as real
+	// transfers (live backend with execution on). ErrorPct is
+	// 100 × (predicted − measured) / measured — positive means the model
+	// over-predicted. All absent on sim and predicted-only rows, so those
+	// lines are byte-identical to the pre-execution schema.
+	PredictedSeconds *float64 `json:"predictedSeconds,omitempty"`
+	MeasuredSeconds  *float64 `json:"measuredSeconds,omitempty"`
+	ErrorPct         *float64 `json:"errorPct,omitempty"`
 	// Migrations counts the migrations a sequence cell performed across
 	// its whole arrival sequence (absent on snapshot cells and on
 	// sequence cells that never migrated).
@@ -408,7 +417,7 @@ func (g *Grid) runScenario(ctx context.Context, sc Scenario, cache *envcache.Cac
 	pspan.End(obs.String("outcome", "ok"))
 	ro.phaseDur("place", latency)
 	execStart := time.Now()
-	completion, err := g.backend().Execute(ctx, g.backendCell(sc), cell.App, cell.Env, p, g.Model)
+	exec, err := g.backend().Execute(ctx, g.backendCell(sc), cell.App, cell.Env, p, g.Model)
 	if err != nil {
 		return Result{}, fmt.Errorf("sweep: executing %s/%s/%s seed %d: %w",
 			sc.Topology.Name, sc.Workload.Name, sc.Algorithm.Name, sc.Seed, err)
@@ -423,8 +432,18 @@ func (g *Grid) runScenario(ctx context.Context, sc Scenario, cache *envcache.Cac
 		VMs:               sc.VMs,
 		MeanBytes:         int64(sc.MeanBytes),
 		Tasks:             cell.App.Tasks(),
-		CompletionSeconds: completion.Seconds(),
+		CompletionSeconds: exec.Completion.Seconds(),
 		PlaceLatency:      latency,
+	}
+	if exec.Executed {
+		pred, meas := exec.Predicted.Seconds(), exec.Measured.Seconds()
+		res.PredictedSeconds = &pred
+		res.MeasuredSeconds = &meas
+		if meas > 0 {
+			pct := 100 * (pred - meas) / meas
+			res.ErrorPct = &pct
+		}
+		ro.recordAccuracy(sc.Algorithm.Name, sc.Topology.Name, pred, meas)
 	}
 
 	if g.OptimalMaxTasks > 0 && cell.App.Tasks() <= g.OptimalMaxTasks {
@@ -481,11 +500,11 @@ func (g *Grid) computeReference(ctx context.Context, sc Scenario, cell *envcache
 	if err != nil {
 		return 0, false, err
 	}
-	completion, err := g.backend().Execute(ctx, g.backendCell(sc), cell.App, cell.Env, p, g.Model)
+	exec, err := g.backend().Execute(ctx, g.backendCell(sc), cell.App, cell.Env, p, g.Model)
 	if err != nil {
 		return 0, false, err
 	}
-	return completion.Seconds(), true, nil
+	return exec.Completion.Seconds(), true, nil
 }
 
 // RunOptions configures a sweep execution.
